@@ -1,0 +1,122 @@
+// Command iiasd runs one live IIAS overlay router: real UDP tunnel
+// sockets, real OSPF adjacencies over them, and the Click forwarding
+// graph in between. Several iiasd processes — on one machine or many —
+// form a live "Internet In A Slice".
+//
+// Usage:
+//
+//	iiasd -listen 127.0.0.1:7001 -tap 10.99.0.1 \
+//	      -peer 127.0.0.1:7002,10.99.1.1,10.99.1.2,10.99.1.0/30,10
+//
+// Each -peer flag (repeatable) is remote,localIf,peerIf,prefix,cost.
+// The daemon prints its routing table whenever it changes and echoes any
+// UDP packet delivered to its tap address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"vini/internal/overlay"
+	"vini/internal/packet"
+)
+
+type peerList []overlay.PeerConfig
+
+func (p *peerList) String() string { return fmt.Sprintf("%d peers", len(*p)) }
+
+func (p *peerList) Set(s string) error {
+	parts := strings.Split(s, ",")
+	if len(parts) != 5 {
+		return fmt.Errorf("want remote,localIf,peerIf,prefix,cost")
+	}
+	localIf, err := netip.ParseAddr(parts[1])
+	if err != nil {
+		return err
+	}
+	peerIf, err := netip.ParseAddr(parts[2])
+	if err != nil {
+		return err
+	}
+	prefix, err := netip.ParsePrefix(parts[3])
+	if err != nil {
+		return err
+	}
+	cost, err := strconv.ParseUint(parts[4], 10, 32)
+	if err != nil {
+		return err
+	}
+	*p = append(*p, overlay.PeerConfig{
+		Remote: parts[0], LocalIf: localIf, PeerIf: peerIf,
+		Prefix: prefix, Cost: uint32(cost),
+	})
+	return nil
+}
+
+func main() {
+	var peers peerList
+	listen := flag.String("listen", "127.0.0.1:0", "UDP tunnel bind address")
+	tap := flag.String("tap", "", "overlay (tap0) address, e.g. 10.99.0.1")
+	hello := flag.Duration("hello", 5*time.Second, "OSPF hello interval")
+	dead := flag.Duration("dead", 10*time.Second, "OSPF router-dead interval")
+	name := flag.String("name", "iias", "node name for logs")
+	flag.Var(&peers, "peer", "remote,localIf,peerIf,prefix,cost (repeatable)")
+	flag.Parse()
+	if *tap == "" {
+		fmt.Fprintln(os.Stderr, "iiasd: -tap is required")
+		os.Exit(2)
+	}
+	tapAddr, err := netip.ParseAddr(*tap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iiasd:", err)
+		os.Exit(2)
+	}
+	node, err := overlay.NewNode(overlay.Config{
+		Name: *name, Listen: *listen, TapAddr: tapAddr,
+		Hello: *hello, Dead: *dead, Peers: peers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iiasd:", err)
+		os.Exit(1)
+	}
+	node.OnDeliver(func(dgram []byte) {
+		if f, ok := packet.FlowOf(dgram); ok {
+			fmt.Printf("[%s] delivered %v\n", *name, f)
+		}
+	})
+	if err := node.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "iiasd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[%s] listening on %s, tap %s, %d peers\n",
+		*name, node.LocalAddr(), tapAddr, len(peers))
+	// Periodically report adjacencies and routes.
+	go func() {
+		var lastRoutes string
+		for {
+			time.Sleep(2 * time.Second)
+			var b strings.Builder
+			for _, r := range node.Routes() {
+				fmt.Fprintf(&b, "  %s\n", r)
+			}
+			if cur := b.String(); cur != lastRoutes {
+				lastRoutes = cur
+				fmt.Printf("[%s] routing table:\n%s", *name, cur)
+				for _, nb := range node.Neighbors() {
+					fmt.Printf("[%s] neighbor %s on %s: %s\n", *name, nb.Addr, nb.Iface, nb.State)
+				}
+			}
+		}
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Printf("[%s] shutting down\n", *name)
+	node.Close()
+}

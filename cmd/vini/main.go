@@ -1,0 +1,68 @@
+// Command vini runs an experiment specification file (the ns-like
+// language of the paper's Section 6.2) on a simulated VINI deployment
+// and prints the measurements.
+//
+// Usage:
+//
+//	vini experiment.spec
+//	echo "topology abilene ..." | vini -
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vini/internal/experiment"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: vini <spec-file|->")
+		os.Exit(2)
+	}
+	var text []byte
+	var err error
+	if os.Args[1] == "-" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec, err := experiment.ParseSpec(string(text))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("running %q on %s topology (%s, warmup %s, duration %s)\n",
+		spec.Slice.Name, spec.Topology, spec.Protocol, spec.Warmup, spec.Duration)
+	res, err := spec.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, l := range res.Log {
+		fmt.Println("event:", l)
+	}
+	for _, p := range res.Pings {
+		fmt.Printf("ping %s -> %s: min/avg/max/mdev = %.3f/%.3f/%.3f/%.3f ms, loss %.1f%%\n",
+			p.Src, p.Dst, p.Min, p.Avg, p.Max, p.Mdev, p.LossPct)
+		for _, s := range p.Timeline {
+			if s.Lost {
+				fmt.Printf("  t=%6.1fs lost\n", s.T)
+			} else {
+				fmt.Printf("  t=%6.1fs rtt %7.2f ms\n", s.T, s.RTTms)
+			}
+		}
+	}
+	for _, t := range res.TCPs {
+		fmt.Printf("iperf-tcp %s -> %s: %.2f Mb/s\n", t.Src, t.Dst, t.Mbps)
+	}
+	for _, c := range res.CBRs {
+		fmt.Printf("udp-cbr %s -> %s: loss %.2f%%, jitter %.3f ms\n",
+			c.Src, c.Dst, c.LossPct, c.JitterMs)
+	}
+}

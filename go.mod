@@ -1,0 +1,3 @@
+module vini
+
+go 1.22

@@ -1,0 +1,301 @@
+// Package click is a Go implementation of the Click modular software
+// router, which IIAS uses as its virtual data plane (Section 4.2.1 of the
+// paper). A router is a graph of named elements connected port-to-port;
+// packets are pushed through the graph synchronously. The package
+// includes a parser for the subset of the Click configuration language
+// IIAS needs (declarations, connections, chains) and the IIAS element
+// library: UDP tunnels, the tap0 local interface, the forwarding and
+// encapsulation table lookups, NAPT, queues, shapers, counters, and the
+// failure-injection element the paper's Section 5.2 uses to "fail" a
+// virtual link by dropping packets inside Click.
+package click
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vini/internal/fib"
+	"vini/internal/packet"
+	"vini/internal/sim"
+)
+
+// Element is a Click element: it receives packets on numbered input ports
+// and emits them on numbered output ports via the router.
+type Element interface {
+	// Class returns the element's class name (e.g. "Classifier").
+	Class() string
+	// Push delivers a packet on input port. Elements emit downstream by
+	// calling their PortSet.
+	Push(port int, p *packet.Packet)
+}
+
+// Initializer is implemented by elements that need resources from the
+// router context after construction and wiring.
+type Initializer interface {
+	Initialize(ctx *Context) error
+}
+
+// HandlerElement exposes Click-style read/write handlers, the mechanism
+// experiments use to poke running elements (e.g. `write fail.active true`).
+type HandlerElement interface {
+	// Handler processes a named handler. For reads, value is empty.
+	Handler(name, value string) (string, error)
+}
+
+// PortSet is the owned output side of an element; the router wires it.
+type PortSet struct {
+	name  string
+	conns [][]edge // per output port: fan-out edges
+}
+
+type edge struct {
+	elem Element
+	port int
+}
+
+// Output emits p on output port. Unconnected ports discard, as Click
+// does for push outputs wired to Discard implicitly (strict Click errors
+// instead; we log through the router trace hook when set).
+func (ps *PortSet) Output(port int, p *packet.Packet) {
+	if port < 0 || port >= len(ps.conns) {
+		return
+	}
+	es := ps.conns[port]
+	for i, e := range es {
+		q := p
+		if i < len(es)-1 { // fan-out duplicates like Tee
+			q = p.Clone()
+		}
+		e.elem.Push(e.port, q)
+	}
+}
+
+// Connected reports whether output port has at least one edge.
+func (ps *PortSet) Connected(port int) bool {
+	return port >= 0 && port < len(ps.conns) && len(ps.conns[port]) > 0
+}
+
+func (ps *PortSet) ensure(port int) {
+	for len(ps.conns) <= port {
+		ps.conns = append(ps.conns, nil)
+	}
+}
+
+// Context supplies shared resources to elements at Initialize time.
+type Context struct {
+	Clock sim.Clock
+	RNG   *sim.RNG
+	// FIB is the forwarding table XORP populates via the FEA.
+	FIB *fib.Table
+	// Encap is the preconfigured encapsulation table.
+	Encap *fib.EncapTable
+	// Tunnels transmits UDP-tunnel packets toward a remote physical node.
+	Tunnels TunnelTransport
+	// Tap delivers packets up to the local host stack (tap0).
+	Tap TapSink
+	// External transmits packets leaving the overlay for the real
+	// Internet (an egress node's post-NAT path).
+	External ExternalSink
+	// VPN returns packets to an opted-in VPN client.
+	VPN VPNSink
+	// LocalAddr is this virtual node's overlay address (tap0 address).
+	LocalAddr packet.Flow // only Src used; kept as Flow for future demux
+	// Trace, when set, receives life-of-a-packet events.
+	Trace func(element, event string, p *packet.Packet)
+}
+
+// TunnelTransport sends an encapsulated overlay packet to a remote
+// physical node. The simulator and the live overlay provide
+// implementations.
+type TunnelTransport interface {
+	SendTunnel(e fib.EncapEntry, p *packet.Packet)
+}
+
+// TapSink receives packets destined to the local host stack.
+type TapSink interface {
+	DeliverTap(p *packet.Packet)
+}
+
+// ExternalSink receives packets leaving the overlay for the Internet.
+type ExternalSink interface {
+	SendExternal(p *packet.Packet)
+}
+
+// VPNSink receives packets bound for an opted-in VPN client.
+type VPNSink interface {
+	SendVPN(p *packet.Packet)
+}
+
+// Constructor builds an element from its configuration arguments.
+type Constructor func(name string, args []string) (Element, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Constructor{}
+)
+
+// Register installs a constructor for class. It panics on duplicates,
+// matching Click's element registration discipline.
+func Register(class string, c Constructor) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[class]; dup {
+		panic("click: duplicate element class " + class)
+	}
+	registry[class] = c
+}
+
+// Classes returns all registered element classes, sorted.
+func Classes() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for c := range registry {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Router is a wired element graph.
+type Router struct {
+	ctx      *Context
+	elements map[string]Element
+	ports    map[string]*PortSet
+	order    []string // declaration order, for deterministic init
+}
+
+// NewRouter returns an empty router bound to ctx.
+func NewRouter(ctx *Context) *Router {
+	if ctx == nil {
+		ctx = &Context{}
+	}
+	return &Router{
+		ctx:      ctx,
+		elements: make(map[string]Element),
+		ports:    make(map[string]*PortSet),
+	}
+}
+
+// Context returns the router's shared context.
+func (r *Router) Context() *Context { return r.ctx }
+
+// AddElement declares a named element instance of class with args.
+func (r *Router) AddElement(name, class string, args []string) error {
+	if _, dup := r.elements[name]; dup {
+		return fmt.Errorf("click: duplicate element name %q", name)
+	}
+	registryMu.RLock()
+	c := registry[class]
+	registryMu.RUnlock()
+	if c == nil {
+		return fmt.Errorf("click: unknown element class %q", class)
+	}
+	e, err := c(name, args)
+	if err != nil {
+		return fmt.Errorf("click: %s :: %s: %w", name, class, err)
+	}
+	r.elements[name] = e
+	r.ports[name] = &PortSet{name: name}
+	r.order = append(r.order, name)
+	if b, ok := e.(interface{ bind(*Router, *PortSet) }); ok {
+		b.bind(r, r.ports[name])
+	}
+	return nil
+}
+
+// Connect wires from[fromPort] -> [toPort]to.
+func (r *Router) Connect(from string, fromPort int, to string, toPort int) error {
+	fp, ok := r.ports[from]
+	if !ok {
+		return fmt.Errorf("click: connect from unknown element %q", from)
+	}
+	te, ok := r.elements[to]
+	if !ok {
+		return fmt.Errorf("click: connect to unknown element %q", to)
+	}
+	if fromPort < 0 || toPort < 0 {
+		return fmt.Errorf("click: negative port in %s[%d]->[%d]%s", from, fromPort, toPort, to)
+	}
+	fp.ensure(fromPort)
+	fp.conns[fromPort] = append(fp.conns[fromPort], edge{elem: te, port: toPort})
+	return nil
+}
+
+// Initialize runs element initializers in declaration order.
+func (r *Router) Initialize() error {
+	for _, name := range r.order {
+		if init, ok := r.elements[name].(Initializer); ok {
+			if err := init.Initialize(r.ctx); err != nil {
+				return fmt.Errorf("click: initialize %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Element returns the named element.
+func (r *Router) Element(name string) (Element, bool) {
+	e, ok := r.elements[name]
+	return e, ok
+}
+
+// Elements returns element names in declaration order.
+func (r *Router) Elements() []string { return append([]string(nil), r.order...) }
+
+// Push injects a packet into the named element's input port, the way
+// device/tunnel sources enter the graph.
+func (r *Router) Push(element string, port int, p *packet.Packet) error {
+	e, ok := r.elements[element]
+	if !ok {
+		return fmt.Errorf("click: push to unknown element %q", element)
+	}
+	e.Push(port, p)
+	return nil
+}
+
+// Handler invokes a "element.handler" endpoint with an optional value
+// (empty for reads), Click's /click filesystem equivalent.
+func (r *Router) Handler(path, value string) (string, error) {
+	elemName, hname, ok := cutLast(path, '.')
+	if !ok {
+		return "", fmt.Errorf("click: handler path %q not element.handler", path)
+	}
+	e, found := r.elements[elemName]
+	if !found {
+		return "", fmt.Errorf("click: unknown element %q", elemName)
+	}
+	h, ok := e.(HandlerElement)
+	if !ok {
+		return "", fmt.Errorf("click: element %q has no handlers", elemName)
+	}
+	return h.Handler(hname, value)
+}
+
+func cutLast(s string, sep byte) (before, after string, ok bool) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == sep {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+// base provides the PortSet plumbing elements embed.
+type base struct {
+	name   string
+	router *Router
+	out    *PortSet
+}
+
+func (b *base) bind(r *Router, ps *PortSet) { b.router = r; b.out = ps }
+
+// Name returns the element instance name.
+func (b *base) Name() string { return b.name }
+
+func (b *base) trace(event string, p *packet.Packet) {
+	if b.router != nil && b.router.ctx.Trace != nil {
+		b.router.ctx.Trace(b.name, event, p)
+	}
+}

@@ -1,0 +1,1066 @@
+package click
+
+import (
+	"encoding/hex"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"vini/internal/nat"
+	"vini/internal/packet"
+)
+
+func init() {
+	Register("FromTap", newPassthrough)
+	Register("FromTunnel", newPassthrough)
+	Register("FromVPN", newPassthrough)
+	Register("Null", newPassthrough)
+	Register("Discard", newDiscard)
+	Register("Counter", newCounter)
+	Register("Tee", newTee)
+	Register("Paint", newPaint)
+	Register("CheckPaint", newCheckPaint)
+	Register("Classifier", newClassifier)
+	Register("CheckIPHeader", newCheckIPHeader)
+	Register("DecIPTTL", newDecIPTTL)
+	Register("LookupIPRoute", newLookupIPRoute)
+	Register("EncapTunnel", newEncapTunnel)
+	Register("ToTap", newToTap)
+	Register("IPNAPT", newIPNAPT)
+	Register("Queue", newQueue)
+	Register("BandwidthShaper", newBandwidthShaper)
+	Register("LinkFail", newLinkFail)
+	Register("ToTunnel", newToTunnel)
+	Register("ICMPError", newICMPError)
+	Register("Strip", newStrip)
+	Register("ToExternal", newToExternal)
+	Register("ToVPN", newToVPN)
+	Register("EtherEncap", newEtherEncap)
+	Register("SetTimestamp", newSetTimestamp)
+}
+
+// passthrough forwards input 0 to output 0. It names the graph entry
+// points (FromTap, FromTunnel, FromVPN) that external drivers push into.
+type passthrough struct {
+	base
+	class string
+}
+
+func newPassthrough(name string, args []string) (Element, error) {
+	return &passthrough{base: base{name: name}, class: "Null"}, nil
+}
+
+func (e *passthrough) Class() string { return e.class }
+func (e *passthrough) Push(port int, p *packet.Packet) {
+	e.trace("pass", p)
+	e.out.Output(0, p)
+}
+
+// discard drops everything, counting.
+type discard struct {
+	base
+	count uint64
+}
+
+func newDiscard(name string, args []string) (Element, error) {
+	return &discard{base: base{name: name}}, nil
+}
+
+func (e *discard) Class() string { return "Discard" }
+func (e *discard) Push(port int, p *packet.Packet) {
+	e.count++
+	e.trace("discard", p)
+}
+
+func (e *discard) Handler(name, value string) (string, error) {
+	if name == "count" && value == "" {
+		return strconv.FormatUint(e.count, 10), nil
+	}
+	return "", fmt.Errorf("discard: no handler %q", name)
+}
+
+// counter counts packets and bytes, passing them through.
+type counter struct {
+	base
+	packets, bytes uint64
+}
+
+func newCounter(name string, args []string) (Element, error) {
+	return &counter{base: base{name: name}}, nil
+}
+
+func (e *counter) Class() string { return "Counter" }
+func (e *counter) Push(port int, p *packet.Packet) {
+	e.packets++
+	e.bytes += uint64(p.Len())
+	e.out.Output(0, p)
+}
+
+func (e *counter) Handler(name, value string) (string, error) {
+	switch {
+	case name == "count" && value == "":
+		return strconv.FormatUint(e.packets, 10), nil
+	case name == "byte_count" && value == "":
+		return strconv.FormatUint(e.bytes, 10), nil
+	case name == "reset":
+		e.packets, e.bytes = 0, 0
+		return "", nil
+	}
+	return "", fmt.Errorf("counter: no handler %q", name)
+}
+
+// tee duplicates input to n outputs.
+type tee struct {
+	base
+	n int
+}
+
+func newTee(name string, args []string) (Element, error) {
+	n := 2
+	if len(args) == 1 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("tee: bad fan-out %q", args[0])
+		}
+		n = v
+	} else if len(args) > 1 {
+		return nil, fmt.Errorf("tee: want at most 1 arg")
+	}
+	return &tee{base: base{name: name}, n: n}, nil
+}
+
+func (e *tee) Class() string { return "Tee" }
+func (e *tee) Push(port int, p *packet.Packet) {
+	for i := 0; i < e.n; i++ {
+		q := p
+		if i < e.n-1 {
+			q = p.Clone()
+		}
+		e.out.Output(i, q)
+	}
+}
+
+// paint marks the packet's Paint annotation.
+type paint struct {
+	base
+	color int
+}
+
+func newPaint(name string, args []string) (Element, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("paint: want 1 arg")
+	}
+	c, err := strconv.Atoi(args[0])
+	if err != nil {
+		return nil, fmt.Errorf("paint: bad color %q", args[0])
+	}
+	return &paint{base: base{name: name}, color: c}, nil
+}
+
+func (e *paint) Class() string { return "Paint" }
+func (e *paint) Push(port int, p *packet.Packet) {
+	p.Anno.Paint = e.color
+	e.out.Output(0, p)
+}
+
+// checkPaint sends matching paint to output 0, others to output 1.
+type checkPaint struct {
+	base
+	color int
+}
+
+func newCheckPaint(name string, args []string) (Element, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("checkpaint: want 1 arg")
+	}
+	c, err := strconv.Atoi(args[0])
+	if err != nil {
+		return nil, fmt.Errorf("checkpaint: bad color %q", args[0])
+	}
+	return &checkPaint{base: base{name: name}, color: c}, nil
+}
+
+func (e *checkPaint) Class() string { return "CheckPaint" }
+func (e *checkPaint) Push(port int, p *packet.Packet) {
+	if p.Anno.Paint == e.color {
+		e.out.Output(0, p)
+	} else {
+		e.out.Output(1, p)
+	}
+}
+
+// clause is one offset/value%mask match within a classifier pattern.
+type clause struct {
+	offset int
+	value  []byte
+	mask   []byte
+}
+
+// classifier implements Click's Classifier: each argument is a pattern of
+// space-separated "offset/hexvalue[%hexmask]" clauses, or "-" matching
+// everything; packets exit on the port of the first matching pattern and
+// are dropped when none matches.
+type classifier struct {
+	base
+	patterns [][]clause // nil slice = match-all ("-")
+}
+
+func newClassifier(name string, args []string) (Element, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("classifier: want at least 1 pattern")
+	}
+	e := &classifier{base: base{name: name}}
+	for _, a := range args {
+		if a == "-" {
+			e.patterns = append(e.patterns, nil)
+			continue
+		}
+		var cs []clause
+		for _, part := range strings.Fields(a) {
+			c, err := parseClause(part)
+			if err != nil {
+				return nil, err
+			}
+			cs = append(cs, c)
+		}
+		if len(cs) == 0 {
+			return nil, fmt.Errorf("classifier: empty pattern %q", a)
+		}
+		e.patterns = append(e.patterns, cs)
+	}
+	return e, nil
+}
+
+func parseClause(s string) (clause, error) {
+	var c clause
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return c, fmt.Errorf("classifier: clause %q missing '/'", s)
+	}
+	off, err := strconv.Atoi(s[:slash])
+	if err != nil || off < 0 {
+		return c, fmt.Errorf("classifier: bad offset in %q", s)
+	}
+	c.offset = off
+	rest := s[slash+1:]
+	var maskHex string
+	if pct := strings.IndexByte(rest, '%'); pct >= 0 {
+		maskHex = rest[pct+1:]
+		rest = rest[:pct]
+	}
+	if len(rest)%2 == 1 {
+		rest = "0" + rest
+	}
+	c.value, err = hex.DecodeString(rest)
+	if err != nil {
+		return c, fmt.Errorf("classifier: bad hex in %q", s)
+	}
+	if maskHex != "" {
+		if len(maskHex)%2 == 1 {
+			maskHex = "0" + maskHex
+		}
+		c.mask, err = hex.DecodeString(maskHex)
+		if err != nil || len(c.mask) != len(c.value) {
+			return c, fmt.Errorf("classifier: bad mask in %q", s)
+		}
+	} else {
+		c.mask = make([]byte, len(c.value))
+		for i := range c.mask {
+			c.mask[i] = 0xff
+		}
+	}
+	for i := range c.value {
+		c.value[i] &= c.mask[i]
+	}
+	return c, nil
+}
+
+func (e *classifier) Class() string { return "Classifier" }
+func (e *classifier) Push(port int, p *packet.Packet) {
+	for i, cs := range e.patterns {
+		if matchClauses(cs, p.Data) {
+			e.out.Output(i, p)
+			return
+		}
+	}
+	e.trace("no-match", p)
+}
+
+func matchClauses(cs []clause, b []byte) bool {
+	for _, c := range cs {
+		if c.offset+len(c.value) > len(b) {
+			return false
+		}
+		for i := range c.value {
+			if b[c.offset+i]&c.mask[i] != c.value[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkIPHeader validates IPv4 headers; valid packets exit port 0, bad
+// ones exit port 1 (or are dropped if port 1 is unconnected).
+type checkIPHeader struct {
+	base
+	bad uint64
+}
+
+func newCheckIPHeader(name string, args []string) (Element, error) {
+	return &checkIPHeader{base: base{name: name}}, nil
+}
+
+func (e *checkIPHeader) Class() string { return "CheckIPHeader" }
+func (e *checkIPHeader) Push(port int, p *packet.Packet) {
+	var ip packet.IPv4
+	if _, err := ip.Parse(p.Data); err != nil {
+		e.bad++
+		e.trace("bad-ip", p)
+		e.out.Output(1, p)
+		return
+	}
+	e.out.Output(0, p)
+}
+
+func (e *checkIPHeader) Handler(name, value string) (string, error) {
+	if name == "drops" && value == "" {
+		return strconv.FormatUint(e.bad, 10), nil
+	}
+	return "", fmt.Errorf("checkipheader: no handler %q", name)
+}
+
+// decIPTTL decrements the TTL in place with an incremental checksum
+// update; packets whose TTL would reach zero exit port 1 (toward
+// ICMPError).
+type decIPTTL struct {
+	base
+	expired uint64
+}
+
+func newDecIPTTL(name string, args []string) (Element, error) {
+	return &decIPTTL{base: base{name: name}}, nil
+}
+
+func (e *decIPTTL) Class() string { return "DecIPTTL" }
+func (e *decIPTTL) Push(port int, p *packet.Packet) {
+	if len(p.Data) < packet.IPv4HeaderLen {
+		return
+	}
+	ttl := p.Data[8]
+	if ttl <= 1 {
+		e.expired++
+		e.trace("ttl-expired", p)
+		e.out.Output(1, p)
+		return
+	}
+	packet.SetTTL(p.Data, ttl-1)
+	e.out.Output(0, p)
+}
+
+func (e *decIPTTL) Handler(name, value string) (string, error) {
+	if name == "expired" && value == "" {
+		return strconv.FormatUint(e.expired, 10), nil
+	}
+	return "", fmt.Errorf("decipttl: no handler %q", name)
+}
+
+// lookupIPRoute consults the shared FIB. A route with a valid NextHop
+// sets the next-hop annotation and emits on the route's OutPort; a route
+// with an invalid NextHop is directly-connected/local and emits on its
+// OutPort unchanged. Packets with no route exit on the port named by the
+// NOROUTE argument (default: dropped).
+type lookupIPRoute struct {
+	base
+	norouteOut int
+	noroute    uint64
+	ctx        *Context
+}
+
+func newLookupIPRoute(name string, args []string) (Element, error) {
+	e := &lookupIPRoute{base: base{name: name}, norouteOut: -1}
+	for _, a := range args {
+		f := strings.Fields(a)
+		if len(f) == 2 && strings.EqualFold(f[0], "NOROUTE") {
+			n, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("lookupiproute: bad NOROUTE %q", f[1])
+			}
+			e.norouteOut = n
+		} else if a != "" {
+			return nil, fmt.Errorf("lookupiproute: unknown arg %q", a)
+		}
+	}
+	return e, nil
+}
+
+func (e *lookupIPRoute) Class() string { return "LookupIPRoute" }
+func (e *lookupIPRoute) Initialize(ctx *Context) error {
+	if ctx.FIB == nil {
+		return fmt.Errorf("lookupiproute: no FIB in context")
+	}
+	e.ctx = ctx
+	return nil
+}
+
+func (e *lookupIPRoute) Push(port int, p *packet.Packet) {
+	var ip packet.IPv4
+	if _, err := ip.Parse(p.Data); err != nil {
+		return
+	}
+	r, ok := e.ctx.FIB.Lookup(ip.Dst)
+	if !ok {
+		e.noroute++
+		e.trace("no-route", p)
+		if e.norouteOut >= 0 {
+			e.out.Output(e.norouteOut, p)
+		}
+		return
+	}
+	p.Anno.NextHop = r.NextHop
+	e.trace("route", p)
+	e.out.Output(r.OutPort, p)
+}
+
+func (e *lookupIPRoute) Handler(name, value string) (string, error) {
+	if name == "noroute" && value == "" {
+		return strconv.FormatUint(e.noroute, 10), nil
+	}
+	return "", fmt.Errorf("lookupiproute: no handler %q", name)
+}
+
+// toTunnel transmits packets on one UDP tunnel; the per-link element
+// that failure injection (LinkFail) sits in front of.
+type toTunnel struct {
+	base
+	tunnel int
+	ctx    *Context
+}
+
+func newToTunnel(name string, args []string) (Element, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("totunnel: want tunnel index arg")
+	}
+	idx, err := strconv.Atoi(args[0])
+	if err != nil || idx < 0 {
+		return nil, fmt.Errorf("totunnel: bad tunnel index %q", args[0])
+	}
+	return &toTunnel{base: base{name: name}, tunnel: idx}, nil
+}
+
+func (e *toTunnel) Class() string { return "ToTunnel" }
+func (e *toTunnel) Initialize(ctx *Context) error {
+	if ctx.Tunnels == nil {
+		return fmt.Errorf("totunnel: no tunnel transport in context")
+	}
+	if ctx.Encap == nil {
+		return fmt.Errorf("totunnel: no encap table in context")
+	}
+	e.ctx = ctx
+	return nil
+}
+
+func (e *toTunnel) Push(port int, p *packet.Packet) {
+	// Resolve the entry by tunnel index (the address details live in the
+	// encapsulation table; this element owns just the socket identity).
+	for _, ent := range e.ctx.Encap.Entries() {
+		if ent.Tunnel == e.tunnel {
+			e.trace("tunnel", p)
+			e.ctx.Tunnels.SendTunnel(ent, p)
+			return
+		}
+	}
+	e.trace("no-tunnel", p)
+}
+
+// encapTunnel maps the next-hop annotation through the encapsulation
+// table. When the output port matching the entry's tunnel index is
+// connected, the packet is emitted there (the per-link LinkFail →
+// ToTunnel chain); otherwise it is handed directly to the tunnel
+// transport. Unresolvable next hops are dropped.
+type encapTunnel struct {
+	base
+	ctx    *Context
+	misses uint64
+	sent   uint64
+}
+
+func newEncapTunnel(name string, args []string) (Element, error) {
+	return &encapTunnel{base: base{name: name}}, nil
+}
+
+func (e *encapTunnel) Class() string { return "EncapTunnel" }
+func (e *encapTunnel) Initialize(ctx *Context) error {
+	if ctx.Encap == nil {
+		return fmt.Errorf("encaptunnel: no encap table in context")
+	}
+	if ctx.Tunnels == nil {
+		return fmt.Errorf("encaptunnel: no tunnel transport in context")
+	}
+	e.ctx = ctx
+	return nil
+}
+
+func (e *encapTunnel) Push(port int, p *packet.Packet) {
+	ent, ok := e.ctx.Encap.Lookup(p.Anno.NextHop)
+	if !ok {
+		e.misses++
+		e.trace("encap-miss", p)
+		return
+	}
+	e.sent++
+	if e.out.Connected(ent.Tunnel) {
+		e.out.Output(ent.Tunnel, p)
+		return
+	}
+	e.trace("tunnel", p)
+	e.ctx.Tunnels.SendTunnel(ent, p)
+}
+
+func (e *encapTunnel) Handler(name, value string) (string, error) {
+	switch {
+	case name == "misses" && value == "":
+		return strconv.FormatUint(e.misses, 10), nil
+	case name == "sent" && value == "":
+		return strconv.FormatUint(e.sent, 10), nil
+	}
+	return "", fmt.Errorf("encaptunnel: no handler %q", name)
+}
+
+// toTap delivers to the local host stack.
+type toTap struct {
+	base
+	ctx *Context
+}
+
+func newToTap(name string, args []string) (Element, error) {
+	return &toTap{base: base{name: name}}, nil
+}
+
+func (e *toTap) Class() string { return "ToTap" }
+func (e *toTap) Initialize(ctx *Context) error {
+	if ctx.Tap == nil {
+		return fmt.Errorf("totap: no tap sink in context")
+	}
+	e.ctx = ctx
+	return nil
+}
+
+func (e *toTap) Push(port int, p *packet.Packet) {
+	e.trace("to-tap", p)
+	e.ctx.Tap.DeliverTap(p)
+}
+
+// ipNAPT performs egress NAPT: input/output 0 is the outbound direction,
+// input/output 1 the inbound (return) direction. Untranslatable inbound
+// packets are dropped, matching the paper's egress behaviour.
+type ipNAPT struct {
+	base
+	ext            netip.Addr
+	timeout        time.Duration
+	portLo, portHi uint16
+	tbl            *nat.Table
+	drops          uint64
+}
+
+func newIPNAPT(name string, args []string) (Element, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("ipnapt: want external address arg")
+	}
+	a, err := netip.ParseAddr(args[0])
+	if err != nil {
+		return nil, fmt.Errorf("ipnapt: bad external address %q", args[0])
+	}
+	e := &ipNAPT{base: base{name: name}, ext: a, timeout: 5 * time.Minute}
+	for _, arg := range args[1:] {
+		f := strings.Fields(arg)
+		switch {
+		case len(f) == 2 && strings.EqualFold(f[0], "TIMEOUT"):
+			d, err := time.ParseDuration(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("ipnapt: bad timeout %q", f[1])
+			}
+			e.timeout = d
+		case len(f) == 3 && strings.EqualFold(f[0], "PORTS"):
+			lo, err1 := strconv.ParseUint(f[1], 10, 16)
+			hi, err2 := strconv.ParseUint(f[2], 10, 16)
+			if err1 != nil || err2 != nil || lo == 0 || lo > hi {
+				return nil, fmt.Errorf("ipnapt: bad port range %q", arg)
+			}
+			e.portLo, e.portHi = uint16(lo), uint16(hi)
+		default:
+			return nil, fmt.Errorf("ipnapt: unknown arg %q", arg)
+		}
+	}
+	return e, nil
+}
+
+func (e *ipNAPT) Class() string { return "IPNAPT" }
+func (e *ipNAPT) Initialize(ctx *Context) error {
+	now := func() time.Duration { return 0 }
+	if ctx.Clock != nil {
+		now = ctx.Clock.Now
+	}
+	e.tbl = nat.New(nat.Config{External: e.ext, Timeout: e.timeout,
+		PortLow: e.portLo, PortHigh: e.portHi}, now)
+	return nil
+}
+
+func (e *ipNAPT) Push(port int, p *packet.Packet) {
+	switch port {
+	case 0:
+		out, err := e.tbl.Outbound(p.Data)
+		if err != nil {
+			e.drops++
+			e.trace("napt-drop", p)
+			return
+		}
+		p.Data = out
+		e.trace("napt-out", p)
+		e.out.Output(0, p)
+	case 1:
+		back, ok, err := e.tbl.Inbound(p.Data)
+		if err != nil || !ok {
+			e.drops++
+			e.trace("napt-unmatched", p)
+			return
+		}
+		p.Data = back
+		e.trace("napt-in", p)
+		e.out.Output(1, p)
+	}
+}
+
+func (e *ipNAPT) Handler(name, value string) (string, error) {
+	switch {
+	case name == "bindings" && value == "":
+		return strconv.Itoa(e.tbl.Len()), nil
+	case name == "drops" && value == "":
+		return strconv.FormatUint(e.drops, 10), nil
+	}
+	return "", fmt.Errorf("ipnapt: no handler %q", name)
+}
+
+// queue is a tail-drop FIFO. Push enqueues; a downstream drain (the
+// netem device model or a BandwidthShaper) calls Pull.
+type queue struct {
+	base
+	cap   int
+	buf   []*packet.Packet
+	drops uint64
+}
+
+// Puller is the pull side of Queue, consumed by device drains.
+type Puller interface {
+	Pull() *packet.Packet
+}
+
+func newQueue(name string, args []string) (Element, error) {
+	c := 1000
+	if len(args) == 1 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("queue: bad capacity %q", args[0])
+		}
+		c = v
+	} else if len(args) > 1 {
+		return nil, fmt.Errorf("queue: want at most 1 arg")
+	}
+	return &queue{base: base{name: name}, cap: c}, nil
+}
+
+func (e *queue) Class() string { return "Queue" }
+func (e *queue) Push(port int, p *packet.Packet) {
+	if len(e.buf) >= e.cap {
+		e.drops++
+		e.trace("tail-drop", p)
+		return
+	}
+	e.buf = append(e.buf, p)
+}
+
+// Pull dequeues the head, or nil when empty.
+func (e *queue) Pull() *packet.Packet {
+	if len(e.buf) == 0 {
+		return nil
+	}
+	p := e.buf[0]
+	e.buf = e.buf[1:]
+	return p
+}
+
+// Len reports the queue occupancy.
+func (e *queue) Len() int { return len(e.buf) }
+
+func (e *queue) Handler(name, value string) (string, error) {
+	switch {
+	case name == "length" && value == "":
+		return strconv.Itoa(len(e.buf)), nil
+	case name == "drops" && value == "":
+		return strconv.FormatUint(e.drops, 10), nil
+	case name == "capacity" && value == "":
+		return strconv.Itoa(e.cap), nil
+	}
+	return "", fmt.Errorf("queue: no handler %q", name)
+}
+
+// bandwidthShaper releases packets at a configured bit rate using the
+// context clock, implementing the "setting link bandwidths via traffic
+// shapers in Click" extension from Section 6.2. Packets beyond the
+// internal queue capacity are dropped.
+type bandwidthShaper struct {
+	base
+	rateBps float64
+	cap     int
+	buf     []*packet.Packet
+	busy    bool
+	drops   uint64
+	ctx     *Context
+}
+
+func newBandwidthShaper(name string, args []string) (Element, error) {
+	if len(args) < 1 {
+		return nil, fmt.Errorf("bandwidthshaper: want rate arg (bits/s; 0 = unlimited)")
+	}
+	r, err := strconv.ParseFloat(args[0], 64)
+	if err != nil || r < 0 {
+		return nil, fmt.Errorf("bandwidthshaper: bad rate %q", args[0])
+	}
+	c := 100
+	if len(args) >= 2 {
+		c, err = strconv.Atoi(args[1])
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bandwidthshaper: bad capacity %q", args[1])
+		}
+	}
+	return &bandwidthShaper{base: base{name: name}, rateBps: r, cap: c}, nil
+}
+
+func (e *bandwidthShaper) Class() string { return "BandwidthShaper" }
+func (e *bandwidthShaper) Initialize(ctx *Context) error {
+	if ctx.Clock == nil {
+		return fmt.Errorf("bandwidthshaper: no clock in context")
+	}
+	e.ctx = ctx
+	return nil
+}
+
+func (e *bandwidthShaper) Push(port int, p *packet.Packet) {
+	if e.rateBps <= 0 && !e.busy {
+		// Unlimited: pass through (the §6.2 link-bandwidth knob is off).
+		e.out.Output(0, p)
+		return
+	}
+	if len(e.buf) >= e.cap {
+		e.drops++
+		e.trace("shape-drop", p)
+		return
+	}
+	e.buf = append(e.buf, p)
+	if !e.busy {
+		e.busy = true
+		e.release()
+	}
+}
+
+func (e *bandwidthShaper) release() {
+	if len(e.buf) == 0 {
+		e.busy = false
+		return
+	}
+	p := e.buf[0]
+	e.buf = e.buf[1:]
+	var txTime time.Duration
+	if e.rateBps > 0 {
+		txTime = time.Duration(float64(p.Len()*8) / e.rateBps * float64(time.Second))
+	}
+	e.out.Output(0, p)
+	e.ctx.Clock.Schedule(txTime, e.release)
+}
+
+func (e *bandwidthShaper) Handler(name, value string) (string, error) {
+	switch {
+	case name == "drops" && value == "":
+		return strconv.FormatUint(e.drops, 10), nil
+	case name == "rate" && value == "":
+		return strconv.FormatFloat(e.rateBps, 'f', -1, 64), nil
+	case name == "rate":
+		r, err := strconv.ParseFloat(value, 64)
+		if err != nil || r < 0 {
+			return "", fmt.Errorf("bandwidthshaper: bad rate %q", value)
+		}
+		e.rateBps = r
+		return "", nil
+	}
+	return "", fmt.Errorf("bandwidthshaper: no handler %q", name)
+}
+
+// linkFail drops packets while active — the element the paper uses to
+// inject the Denver–Kansas City failure inside Click. A DROP_PROB
+// argument turns it into a lossy-link model instead.
+type linkFail struct {
+	base
+	active   bool
+	dropProb float64
+	dropped  uint64
+	ctx      *Context
+}
+
+func newLinkFail(name string, args []string) (Element, error) {
+	e := &linkFail{base: base{name: name}}
+	for _, a := range args {
+		f := strings.Fields(a)
+		switch {
+		case len(f) == 2 && strings.EqualFold(f[0], "ACTIVE"):
+			e.active = f[1] == "true" || f[1] == "1"
+		case len(f) == 2 && strings.EqualFold(f[0], "DROP_PROB"):
+			p, err := strconv.ParseFloat(f[1], 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("linkfail: bad DROP_PROB %q", f[1])
+			}
+			e.dropProb = p
+		case a == "":
+		default:
+			return nil, fmt.Errorf("linkfail: unknown arg %q", a)
+		}
+	}
+	return e, nil
+}
+
+func (e *linkFail) Class() string { return "LinkFail" }
+func (e *linkFail) Initialize(ctx *Context) error {
+	e.ctx = ctx
+	return nil
+}
+
+// SetActive flips the failure state programmatically (the experiment
+// harness uses this; the handler interface offers the same via strings).
+func (e *linkFail) SetActive(v bool) { e.active = v }
+
+func (e *linkFail) Push(port int, p *packet.Packet) {
+	if e.active {
+		e.dropped++
+		e.trace("fail-drop", p)
+		return
+	}
+	if e.dropProb > 0 && e.ctx != nil && e.ctx.RNG != nil && e.ctx.RNG.Bool(e.dropProb) {
+		e.dropped++
+		e.trace("loss-drop", p)
+		return
+	}
+	e.out.Output(0, p)
+}
+
+func (e *linkFail) Handler(name, value string) (string, error) {
+	switch {
+	case name == "active" && value == "":
+		return strconv.FormatBool(e.active), nil
+	case name == "active":
+		e.active = value == "true" || value == "1"
+		return "", nil
+	case name == "drops" && value == "":
+		return strconv.FormatUint(e.dropped, 10), nil
+	}
+	return "", fmt.Errorf("linkfail: no handler %q", name)
+}
+
+// icmpError generates the ICMP error for the offending packet it
+// receives, sourced from the node's overlay address, and emits it on
+// output 0 to be routed back.
+type icmpError struct {
+	base
+	typ, code uint8
+	ctx       *Context
+}
+
+func newICMPError(name string, args []string) (Element, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("icmperror: want TYPE, CODE args")
+	}
+	t, err1 := strconv.Atoi(args[0])
+	c, err2 := strconv.Atoi(args[1])
+	if err1 != nil || err2 != nil || t < 0 || t > 255 || c < 0 || c > 255 {
+		return nil, fmt.Errorf("icmperror: bad type/code %v", args)
+	}
+	return &icmpError{base: base{name: name}, typ: uint8(t), code: uint8(c)}, nil
+}
+
+func (e *icmpError) Class() string { return "ICMPError" }
+func (e *icmpError) Initialize(ctx *Context) error {
+	if !ctx.LocalAddr.Src.IsValid() {
+		return fmt.Errorf("icmperror: no local address in context")
+	}
+	e.ctx = ctx
+	return nil
+}
+
+func (e *icmpError) Push(port int, p *packet.Packet) {
+	// RFC 1122: never generate an ICMP error about an ICMP error.
+	var oip packet.IPv4
+	if payload, err := oip.Parse(p.Data); err == nil && oip.Proto == packet.ProtoICMP {
+		var ic packet.ICMP
+		if _, err := ic.Parse(payload); err == nil &&
+			(ic.Type == packet.ICMPUnreachable || ic.Type == packet.ICMPTimeExceeded) {
+			return
+		}
+	}
+	msg := packet.BuildICMPError(e.ctx.LocalAddr.Src, e.typ, e.code, p.Data)
+	if msg == nil {
+		return
+	}
+	q := packet.New(msg)
+	q.Anno.Timestamp = p.Anno.Timestamp
+	e.trace("icmp-error", q)
+	e.out.Output(0, q)
+}
+
+// toExternal hands post-NAT packets to the node's real network stack so
+// they travel the public Internet to hosts that never opted in.
+type toExternal struct {
+	base
+	ctx *Context
+}
+
+func newToExternal(name string, args []string) (Element, error) {
+	return &toExternal{base: base{name: name}}, nil
+}
+
+func (e *toExternal) Class() string { return "ToExternal" }
+func (e *toExternal) Initialize(ctx *Context) error {
+	if ctx.External == nil {
+		return fmt.Errorf("toexternal: no external sink in context")
+	}
+	e.ctx = ctx
+	return nil
+}
+
+func (e *toExternal) Push(port int, p *packet.Packet) {
+	e.trace("to-external", p)
+	e.ctx.External.SendExternal(p)
+}
+
+// toVPN returns packets to the opted-in client through the VPN server.
+type toVPN struct {
+	base
+	ctx *Context
+}
+
+func newToVPN(name string, args []string) (Element, error) {
+	return &toVPN{base: base{name: name}}, nil
+}
+
+func (e *toVPN) Class() string { return "ToVPN" }
+func (e *toVPN) Initialize(ctx *Context) error {
+	if ctx.VPN == nil {
+		return fmt.Errorf("tovpn: no VPN sink in context")
+	}
+	e.ctx = ctx
+	return nil
+}
+
+func (e *toVPN) Push(port int, p *packet.Packet) {
+	e.trace("to-vpn", p)
+	e.ctx.VPN.SendVPN(p)
+}
+
+// strip removes n bytes from the packet head (e.g. an Ethernet header).
+type strip struct {
+	base
+	n int
+}
+
+func newStrip(name string, args []string) (Element, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("strip: want 1 arg")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("strip: bad length %q", args[0])
+	}
+	return &strip{base: base{name: name}, n: n}, nil
+}
+
+func (e *strip) Class() string { return "Strip" }
+func (e *strip) Push(port int, p *packet.Packet) {
+	if p.Len() < e.n {
+		return
+	}
+	p.Pull(e.n)
+	e.out.Output(0, p)
+}
+
+// etherEncap prepends an Ethernet header, for the uml_switch path that
+// exchanges Ethernet frames with the routing process's virtual machine.
+type etherEncap struct {
+	base
+	hdr packet.Ethernet
+}
+
+func newEtherEncap(name string, args []string) (Element, error) {
+	if len(args) != 3 {
+		return nil, fmt.Errorf("etherencap: want TYPE, SRC, DST args")
+	}
+	t, err := strconv.ParseUint(strings.TrimPrefix(args[0], "0x"), 16, 16)
+	if err != nil {
+		return nil, fmt.Errorf("etherencap: bad ethertype %q", args[0])
+	}
+	src, err := parseMAC(args[1])
+	if err != nil {
+		return nil, err
+	}
+	dst, err := parseMAC(args[2])
+	if err != nil {
+		return nil, err
+	}
+	return &etherEncap{base: base{name: name},
+		hdr: packet.Ethernet{Type: uint16(t), Src: src, Dst: dst}}, nil
+}
+
+func parseMAC(s string) (packet.MAC, error) {
+	var m packet.MAC
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return m, fmt.Errorf("etherencap: bad MAC %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return m, fmt.Errorf("etherencap: bad MAC %q", s)
+		}
+		m[i] = byte(v)
+	}
+	return m, nil
+}
+
+func (e *etherEncap) Class() string { return "EtherEncap" }
+func (e *etherEncap) Push(port int, p *packet.Packet) {
+	p.Push(e.hdr.AppendTo(nil))
+	e.out.Output(0, p)
+}
+
+// setTimestamp stamps packets with the current clock, used at ingress so
+// latency is measured from entry.
+type setTimestamp struct {
+	base
+	ctx *Context
+}
+
+func newSetTimestamp(name string, args []string) (Element, error) {
+	return &setTimestamp{base: base{name: name}}, nil
+}
+
+func (e *setTimestamp) Class() string { return "SetTimestamp" }
+func (e *setTimestamp) Initialize(ctx *Context) error {
+	if ctx.Clock == nil {
+		return fmt.Errorf("settimestamp: no clock in context")
+	}
+	e.ctx = ctx
+	return nil
+}
+
+func (e *setTimestamp) Push(port int, p *packet.Packet) {
+	p.Anno.Timestamp = e.ctx.Clock.Now()
+	e.out.Output(0, p)
+}

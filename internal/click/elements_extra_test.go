@@ -1,0 +1,215 @@
+package click
+
+import (
+	"testing"
+
+	"vini/internal/fib"
+	"vini/internal/packet"
+)
+
+func TestToTunnelPerLinkChain(t *testing.T) {
+	ctx, cap, _ := testCtx()
+	nh1 := packet.MustAddr("10.1.1.3")
+	nh2 := packet.MustAddr("10.1.1.7")
+	ctx.FIB.Add(fib.Route{Prefix: packet.MustPrefix("10.1.2.0/24"), NextHop: nh1, OutPort: 0})
+	ctx.FIB.Add(fib.Route{Prefix: packet.MustPrefix("10.1.3.0/24"), NextHop: nh2, OutPort: 0})
+	ctx.Encap.Set(fib.EncapEntry{NextHop: nh1, Remote: packet.MustAddr("198.32.154.1"), Port: 1, Tunnel: 0})
+	ctx.Encap.Set(fib.EncapEntry{NextHop: nh2, Remote: packet.MustAddr("198.32.154.2"), Port: 1, Tunnel: 1})
+	r := mustParse(t, ctx, `
+		rt :: LookupIPRoute;
+		encap :: EncapTunnel;
+		fail0 :: LinkFail;
+		fail1 :: LinkFail;
+		tun0 :: ToTunnel(0);
+		tun1 :: ToTunnel(1);
+		rt[0] -> encap;
+		encap[0] -> fail0; fail0 -> tun0;
+		encap[1] -> fail1; fail1 -> tun1;
+	`)
+	// Traffic for each next hop leaves on its own chain.
+	r.Push("rt", 0, packet.New(packet.BuildUDP(src10, packet.MustAddr("10.1.2.9"), 1, 2, 64, nil)))
+	r.Push("rt", 0, packet.New(packet.BuildUDP(src10, packet.MustAddr("10.1.3.9"), 1, 2, 64, nil)))
+	if len(cap.tunneled) != 2 {
+		t.Fatalf("tunneled = %d", len(cap.tunneled))
+	}
+	if cap.tunneled[0].Tunnel != 0 || cap.tunneled[1].Tunnel != 1 {
+		t.Fatalf("tunnel routing wrong: %+v", cap.tunneled)
+	}
+	// Failing one chain stops its traffic only.
+	r.Handler("fail0.active", "true")
+	r.Push("rt", 0, packet.New(packet.BuildUDP(src10, packet.MustAddr("10.1.2.9"), 1, 2, 64, nil)))
+	r.Push("rt", 0, packet.New(packet.BuildUDP(src10, packet.MustAddr("10.1.3.9"), 1, 2, 64, nil)))
+	if len(cap.tunneled) != 3 || cap.tunneled[2].Tunnel != 1 {
+		t.Fatalf("failure injection leaked: %+v", cap.tunneled)
+	}
+	// Misses stay counted.
+	r.Push("rt", 0, packet.New(packet.BuildUDP(src10, packet.MustAddr("10.9.9.9"), 1, 2, 64, nil)))
+	if v, _ := r.Handler("rt.noroute", ""); v != "0" {
+		// 10.9.9.9 has no route at all, so it never reaches encap.
+		t.Logf("noroute = %s", v)
+	}
+}
+
+func TestEncapMissCounted(t *testing.T) {
+	ctx, cap, _ := testCtx()
+	nh := packet.MustAddr("10.1.1.3")
+	ctx.FIB.Add(fib.Route{Prefix: packet.MustPrefix("10.1.2.0/24"), NextHop: nh, OutPort: 0})
+	// No encap entry for nh.
+	r := mustParse(t, ctx, `
+		rt :: LookupIPRoute;
+		encap :: EncapTunnel;
+		rt[0] -> encap;
+	`)
+	r.Push("rt", 0, packet.New(packet.BuildUDP(src10, packet.MustAddr("10.1.2.9"), 1, 2, 64, nil)))
+	if len(cap.tunneled) != 0 {
+		t.Fatal("miss was sent anyway")
+	}
+	if v, _ := r.Handler("encap.misses", ""); v != "1" {
+		t.Fatalf("misses = %s", v)
+	}
+}
+
+func TestToExternalAndToVPNElements(t *testing.T) {
+	ctx, _, _ := testCtx()
+	extGot, vpnGot := 0, 0
+	ctx.External = extFunc(func(p *packet.Packet) { extGot++ })
+	ctx.VPN = vpnFunc(func(p *packet.Packet) { vpnGot++ })
+	r := mustParse(t, ctx, `
+		ext :: ToExternal;
+		vpn :: ToVPN;
+	`)
+	r.Push("ext", 0, packet.New([]byte{1}))
+	r.Push("vpn", 0, packet.New([]byte{2}))
+	if extGot != 1 || vpnGot != 1 {
+		t.Fatalf("sinks: ext=%d vpn=%d", extGot, vpnGot)
+	}
+}
+
+type extFunc func(p *packet.Packet)
+
+func (f extFunc) SendExternal(p *packet.Packet) { f(p) }
+
+type vpnFunc func(p *packet.Packet)
+
+func (f vpnFunc) SendVPN(p *packet.Packet) { f(p) }
+
+func TestSinkElementsRequireContext(t *testing.T) {
+	for _, class := range []string{"ToExternal", "ToVPN", "ToTap", "EncapTunnel", "SetTimestamp", "BandwidthShaper"} {
+		r := NewRouter(&Context{})
+		args := []string{}
+		if class == "BandwidthShaper" {
+			args = []string{"1000"}
+		}
+		if err := r.AddElement("x", class, args); err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if err := r.Initialize(); err == nil {
+			t.Errorf("%s initialized without its context resource", class)
+		}
+	}
+}
+
+func TestConstructorArgErrors(t *testing.T) {
+	bad := map[string][]string{
+		"ToTunnel":        {"-1"},
+		"ICMPError":       {"11"},
+		"IPNAPT":          {"not-an-ip"},
+		"Strip":           {"x"},
+		"EtherEncap":      {"0x0800", "bad-mac", "02:00:00:00:00:02"},
+		"Paint":           {},
+		"CheckPaint":      {"x"},
+		"Queue":           {"0"},
+		"BandwidthShaper": {"-5"},
+		"LinkFail":        {"DROP_PROB 2.0"},
+		"Classifier":      {"5/zz"},
+	}
+	for class, args := range bad {
+		r := NewRouter(&Context{})
+		if err := r.AddElement("x", class, args); err == nil {
+			t.Errorf("%s(%v) accepted", class, args)
+		}
+	}
+}
+
+func TestIPNAPTPortsArg(t *testing.T) {
+	ctx, _, _ := testCtx()
+	r := mustParse(t, ctx, `
+		napt :: IPNAPT(198.32.154.226, PORTS 5000 5001);
+		out :: TestSink;
+		napt[0] -> out;
+	`)
+	ext := packet.MustAddr("64.236.16.20")
+	// Only two ports: the third distinct flow fails and is dropped.
+	for i := 0; i < 3; i++ {
+		r.Push("napt", 0, packet.New(packet.BuildUDP(src10, ext, uint16(6000+i), 80, 62, nil)))
+	}
+	o, _ := r.Element("out")
+	outs := o.(*sink).got
+	if len(outs) != 2 {
+		t.Fatalf("translated = %d, want 2 (range exhausted)", len(outs))
+	}
+	for _, p := range outs {
+		f, _ := packet.FlowOf(p.Data)
+		if f.SrcPort != 5000 && f.SrcPort != 5001 {
+			t.Fatalf("allocated port %d outside range", f.SrcPort)
+		}
+	}
+	if v, _ := r.Handler("napt.drops", ""); v != "1" {
+		t.Fatalf("drops = %s", v)
+	}
+	if v, _ := r.Handler("napt.bindings", ""); v != "2" {
+		t.Fatalf("bindings = %s", v)
+	}
+}
+
+func TestCounterResetAndDiscardCount(t *testing.T) {
+	ctx, _, _ := testCtx()
+	r := mustParse(t, ctx, `
+		c :: Counter;
+		d :: Discard;
+		c -> d;
+	`)
+	r.Push("c", 0, packet.New([]byte{1, 2}))
+	r.Push("c", 0, packet.New([]byte{3}))
+	if v, _ := r.Handler("d.count", ""); v != "2" {
+		t.Fatalf("discard count = %s", v)
+	}
+	if _, err := r.Handler("c.reset", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Handler("c.count", ""); v != "0" {
+		t.Fatalf("count after reset = %s", v)
+	}
+}
+
+func TestICMPErrorNeverAboutICMPError(t *testing.T) {
+	ctx, _, _ := testCtx()
+	r := mustParse(t, ctx, `
+		err :: ICMPError(11, 0);
+		out :: TestSink;
+		err -> out;
+	`)
+	// An ICMP time-exceeded about a time-exceeded must be suppressed.
+	offending := packet.BuildICMPError(packet.MustAddr("10.0.0.9"), packet.ICMPTimeExceeded, 0,
+		packet.BuildUDP(src10, dst10, 1, 2, 1, nil))
+	r.Push("err", 0, packet.New(offending))
+	o, _ := r.Element("out")
+	if len(o.(*sink).got) != 0 {
+		t.Fatal("generated an ICMP error about an ICMP error")
+	}
+	// But an echo request still elicits one (RFC allows errors on echo).
+	echo := packet.BuildICMPEcho(src10, dst10, false, 1, 1, 1, nil)
+	r.Push("err", 0, packet.New(echo))
+	if len(o.(*sink).got) != 1 {
+		t.Fatal("echo-triggered error suppressed")
+	}
+}
+
+func TestDuplicateElementClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("Discard", newDiscard)
+}

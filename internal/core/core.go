@@ -1,0 +1,181 @@
+// Package core is VINI itself: the virtual network infrastructure that
+// embeds experiment slices — each with its own virtual topology, Click
+// forwarding plane, routing processes, and resource guarantees — onto a
+// shared physical substrate (internal/netem in simulation). It is the
+// paper's primary contribution; everything else in this repository is a
+// substrate it composes.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"vini/internal/netem"
+	"vini/internal/sched"
+	"vini/internal/sim"
+	"vini/internal/topology"
+)
+
+// VINI is one deployment of the infrastructure.
+type VINI struct {
+	Net    *netem.Network
+	loop   *sim.Loop
+	graph  *topology.Graph // physical topology mirror, for embeddings
+	slices map[string]*Slice
+	order  []string
+	nextID int
+}
+
+// New creates an infrastructure on a fresh event loop.
+func New(seed int64) *VINI {
+	loop := sim.NewLoop(seed)
+	v := &VINI{
+		Net:    netem.New(loop),
+		loop:   loop,
+		graph:  topology.New(),
+		slices: make(map[string]*Slice),
+		nextID: 1,
+	}
+	v.Net.OnLinkEvent(v.linkUpcall)
+	return v
+}
+
+// Loop exposes the event loop for scheduling experiment actions.
+func (v *VINI) Loop() *sim.Loop { return v.loop }
+
+// AddNode creates a physical node.
+func (v *VINI) AddNode(name string, addr netip.Addr, prof netem.Profile, opt sched.Options) (*netem.Node, error) {
+	n, err := v.Net.AddNode(name, addr, prof, opt)
+	if err != nil {
+		return nil, err
+	}
+	v.graph.AddNode(name)
+	return n, nil
+}
+
+// AddLink creates a physical link.
+func (v *VINI) AddLink(cfg netem.LinkConfig) (*netem.Link, error) {
+	l, err := v.Net.AddLink(cfg)
+	if err != nil {
+		return nil, err
+	}
+	v.graph.AddLink(topology.Link{A: cfg.A, B: cfg.B,
+		CostAB: uint32(cfg.Delay/time.Microsecond) + 1,
+		Delay:  cfg.Delay, Bandwidth: cfg.Bandwidth})
+	return l, nil
+}
+
+// ComputeRoutes converges the substrate's own IP routing.
+func (v *VINI) ComputeRoutes() { v.Net.ComputeRoutes() }
+
+// Run advances virtual time.
+func (v *VINI) Run(until time.Duration) { v.Net.Run(until) }
+
+// SliceConfig sets a slice's resource guarantees, the PL-VINI knobs of
+// Section 4.1.2.
+type SliceConfig struct {
+	Name string
+	// CPUShare is the slice's token fill rate: the default fair share or
+	// an explicit reservation (0.25 for the paper's PL-VINI runs).
+	CPUShare float64
+	// RT boosts the slice's forwarder to real-time priority.
+	RT bool
+	// Strict makes the CPU allocation non-work-conserving (§6.2): the
+	// slice receives exactly CPUShare, never idle surplus — the
+	// repeatability configuration.
+	Strict bool
+	// ExposePhysicalFailures wires substrate link alarms (upcalls) to
+	// automatic failure of the virtual links riding them, so experiments
+	// see underlying topology changes instead of having them masked
+	// (Sections 3.1 and 6.1).
+	ExposePhysicalFailures bool
+}
+
+// CreateSlice admits a new experiment. Each slice receives a private
+// 10.<id>.0.0/16 of the 10/8 space and a dedicated UDP port range (the
+// VNET-style isolation).
+func (v *VINI) CreateSlice(cfg SliceConfig) (*Slice, error) {
+	if _, dup := v.slices[cfg.Name]; dup {
+		return nil, fmt.Errorf("core: slice %q exists", cfg.Name)
+	}
+	if cfg.CPUShare == 0 {
+		cfg.CPUShare = 1.0 / 40 // a PlanetLab node's default fair share
+	}
+	id := v.nextID
+	v.nextID++
+	s := &Slice{
+		vini:     v,
+		cfg:      cfg,
+		id:       id,
+		basePort: uint16(33000 + 256*id),
+		vnodes:   make(map[string]*VirtualNode),
+	}
+	v.slices[cfg.Name] = s
+	v.order = append(v.order, cfg.Name)
+	return s, nil
+}
+
+// Slice returns a slice by name.
+func (v *VINI) Slice(name string) (*Slice, bool) {
+	s, ok := v.slices[name]
+	return s, ok
+}
+
+// FailLink fails a physical substrate link (with the substrate's own
+// IGP reconverging after igpDelay) and fires upcalls.
+func (v *VINI) FailLink(a, b string, igpDelay time.Duration) error {
+	return v.Net.FailLink(a, b, igpDelay)
+}
+
+// RestoreLink restores a physical link.
+func (v *VINI) RestoreLink(a, b string, igpDelay time.Duration) error {
+	return v.Net.RestoreLink(a, b, igpDelay)
+}
+
+// LinkAlarm is the upcall delivered to slices when a physical link
+// transition affects one of their virtual links.
+type LinkAlarm struct {
+	Event netem.LinkEvent
+	// A, B name the virtual nodes whose virtual link rides the failed
+	// physical link.
+	A, B string
+}
+
+// linkUpcall maps a physical link event onto affected virtual links.
+func (v *VINI) linkUpcall(ev netem.LinkEvent) {
+	// Identify the physical links now down to find affected paths.
+	down := map[int]bool{}
+	for i, l := range v.graphLinks() {
+		phys, ok := v.Net.FindLink(l.A, l.B)
+		if ok && phys.Down() {
+			down[i] = true
+		}
+	}
+	for _, name := range v.order {
+		s := v.slices[name]
+		s.physicalEvent(ev, down)
+	}
+}
+
+func (v *VINI) graphLinks() []topology.Link { return v.graph.Links() }
+
+// pathUses reports whether the current shortest physical path between
+// two nodes traverses the given physical link, pretending the link is up
+// (virtual links are pinned to the path chosen at embedding time; the
+// paper's point is precisely that the substrate would re-route around
+// the failure and mask it).
+func (v *VINI) pathUses(from, to, linkA, linkB string) bool {
+	paths := v.graph.ShortestPaths(from, nil)
+	p, ok := paths[to]
+	if !ok {
+		return false
+	}
+	for i := 0; i+1 < len(p.Hops); i++ {
+		a, b := p.Hops[i], p.Hops[i+1]
+		if (a == linkA && b == linkB) || (a == linkB && b == linkA) {
+			return true
+		}
+	}
+	return false
+}

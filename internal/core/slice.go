@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"vini/internal/fib"
+	"vini/internal/netem"
+	"vini/internal/ospf"
+	"vini/internal/rip"
+)
+
+// Slice is one experiment: a set of virtual nodes joined by virtual
+// links (UDP tunnels), with its own addresses, ports, forwarding tables,
+// and routing processes.
+type Slice struct {
+	vini     *VINI
+	cfg      SliceConfig
+	id       int
+	basePort uint16
+	vnodes   map[string]*VirtualNode
+	vorder   []string
+	vlinks   []*VirtualLink
+	nextHost int // tap address allocator
+	nextNet  int // /30 subnet allocator
+	// SPFDelay overrides the OSPF SPF batching delay (default 100ms;
+	// production routers use ~1s, which widens the transient-forwarding
+	// windows Figure 8's 110ms/87ms samples fall into). Set before
+	// StartOSPF.
+	SPFDelay time.Duration
+	// onAlarm receives physical-failure upcalls.
+	onAlarm func(LinkAlarm)
+}
+
+// VirtualLink is one virtual point-to-point link (a UDP tunnel pair).
+type VirtualLink struct {
+	A, B     *VirtualNode
+	AIf, BIf int
+	Cost     uint32
+	// failed mirrors the Click LinkFail state on both directions.
+	failed bool
+}
+
+// Name returns the slice name.
+func (s *Slice) Name() string { return s.cfg.Name }
+
+// Prefix returns the slice's private address block.
+func (s *Slice) Prefix() netip.Prefix {
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(s.id), 0, 0}), 16)
+}
+
+// OnAlarm registers the upcall handler for substrate topology changes.
+func (s *Slice) OnAlarm(fn func(LinkAlarm)) { s.onAlarm = fn }
+
+// VirtualNodes returns the slice's virtual node names in creation order.
+func (s *Slice) VirtualNodes() []string { return append([]string(nil), s.vorder...) }
+
+// VirtualNode returns a virtual node by (physical) name.
+func (s *Slice) VirtualNode(name string) (*VirtualNode, bool) {
+	vn, ok := s.vnodes[name]
+	return vn, ok
+}
+
+// AddVirtualNode instantiates the slice on the named physical node: a
+// Click forwarder process with the IIAS element graph, a tap0 address
+// out of the slice's block, and (lazily) routing processes.
+func (s *Slice) AddVirtualNode(physName string) (*VirtualNode, error) {
+	if _, dup := s.vnodes[physName]; dup {
+		return nil, fmt.Errorf("core: slice %s already on node %s", s.cfg.Name, physName)
+	}
+	phys, ok := s.vini.Net.Node(physName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown physical node %q", physName)
+	}
+	s.nextHost++
+	if s.nextHost > 250 {
+		return nil, fmt.Errorf("core: slice %s out of tap addresses", s.cfg.Name)
+	}
+	tap := netip.AddrFrom4([4]byte{10, byte(s.id), 0, byte(s.nextHost)})
+	vn, err := newVirtualNode(s, phys, tap)
+	if err != nil {
+		return nil, err
+	}
+	s.vnodes[physName] = vn
+	s.vorder = append(s.vorder, physName)
+	return vn, nil
+}
+
+// allocSubnet returns a fresh /30 from the slice block and its two host
+// addresses.
+func (s *Slice) allocSubnet() (netip.Prefix, netip.Addr, netip.Addr, error) {
+	s.nextNet++
+	if s.nextNet > 8000 {
+		return netip.Prefix{}, netip.Addr{}, netip.Addr{}, fmt.Errorf("core: slice %s out of /30 subnets", s.cfg.Name)
+	}
+	// Subnets live in the upper half of the /16: 10.<id>.128.0/17.
+	off := s.nextNet * 4
+	third := byte(128 + off/256)
+	fourth := byte(off % 256)
+	base := netip.AddrFrom4([4]byte{10, byte(s.id), third, fourth})
+	a := netip.AddrFrom4([4]byte{10, byte(s.id), third, fourth + 1})
+	b := netip.AddrFrom4([4]byte{10, byte(s.id), third, fourth + 2})
+	return netip.PrefixFrom(base, 30), a, b, nil
+}
+
+// ConnectVirtual creates a virtual link between two of the slice's
+// virtual nodes: a /30 subnet, one UDP-tunnel interface on each side
+// (with the Click LinkFail → ToTunnel chain), and encapsulation-table
+// entries pointing at the peer's physical node.
+func (s *Slice) ConnectVirtual(a, b string, cost uint32) (*VirtualLink, error) {
+	va, ok := s.vnodes[a]
+	if !ok {
+		return nil, fmt.Errorf("core: no virtual node on %q", a)
+	}
+	vb, ok := s.vnodes[b]
+	if !ok {
+		return nil, fmt.Errorf("core: no virtual node on %q", b)
+	}
+	if cost == 0 {
+		cost = 1
+	}
+	prefix, addrA, addrB, err := s.allocSubnet()
+	if err != nil {
+		return nil, err
+	}
+	ifA, err := va.addInterface(prefix, addrA, addrB, vb, cost)
+	if err != nil {
+		return nil, err
+	}
+	ifB, err := vb.addInterface(prefix, addrB, addrA, va, cost)
+	if err != nil {
+		return nil, err
+	}
+	vl := &VirtualLink{A: va, B: vb, AIf: ifA, BIf: ifB, Cost: cost}
+	s.vlinks = append(s.vlinks, vl)
+	return vl, nil
+}
+
+// FindVirtualLink locates the virtual link between two virtual nodes.
+func (s *Slice) FindVirtualLink(a, b string) (*VirtualLink, bool) {
+	for _, vl := range s.vlinks {
+		if (vl.A.phys.Name() == a && vl.B.phys.Name() == b) ||
+			(vl.A.phys.Name() == b && vl.B.phys.Name() == a) {
+			return vl, true
+		}
+	}
+	return nil, false
+}
+
+// SetFailed injects (or clears) a failure on the virtual link by
+// flipping the LinkFail elements inside Click on both endpoints — the
+// paper's §5.2 mechanism ("we fail the link by dropping packets within
+// Click on the virtual link connecting two Abilene nodes").
+func (vl *VirtualLink) SetFailed(v bool) {
+	vl.failed = v
+	vl.A.setTunnelFailed(vl.AIf, v)
+	vl.B.setTunnelFailed(vl.BIf, v)
+}
+
+// Failed reports the injected-failure state.
+func (vl *VirtualLink) Failed() bool { return vl.failed }
+
+// SetBandwidth caps the virtual link at bps in both directions using
+// the Click traffic shapers on its per-tunnel chains (Section 6.2's
+// "support for setting link bandwidths"). bps <= 0 removes the cap.
+func (vl *VirtualLink) SetBandwidth(bps float64) {
+	v := "0"
+	if bps > 0 {
+		v = fmt.Sprintf("%f", bps)
+	}
+	vl.A.Router.Handler(fmt.Sprintf("shape%d.rate", vl.AIf), v)
+	vl.B.Router.Handler(fmt.Sprintf("shape%d.rate", vl.BIf), v)
+}
+
+// StartOSPF launches an OSPF process on every virtual node with the
+// given timers, advertising each node's tap0 /32 (plus any extra stubs
+// registered on the node, e.g. an egress default route). Router starts
+// are staggered across one hello interval, as real deployments are, so
+// dead timers do not fire in lockstep.
+func (s *Slice) StartOSPF(hello, dead time.Duration) {
+	rng := s.vini.loop.RNG().Fork()
+	for _, name := range s.vorder {
+		vn := s.vnodes[name]
+		offset := time.Duration(rng.Float64() * float64(hello))
+		s.vini.loop.Schedule(offset, func() { vn.startOSPF(hello, dead) })
+	}
+}
+
+// StartRIP launches RIP instead (a slice runs one IGP at a time unless
+// an experiment deliberately runs both for the switchover demo).
+func (s *Slice) StartRIP(update time.Duration) {
+	for _, name := range s.vorder {
+		s.vnodes[name].startRIP(update)
+	}
+}
+
+// SwitchProtocol atomically prefers the named protocol ("ospf" or
+// "rip") in every virtual node's RIB — the conclusion's "atomic
+// switchover between virtual networks". Both protocols keep running;
+// only the forwarding tables flip.
+func (s *Slice) SwitchProtocol(proto string) error {
+	switch proto {
+	case "ospf", "rip":
+	default:
+		return fmt.Errorf("core: unknown protocol %q", proto)
+	}
+	for _, name := range s.vorder {
+		s.vnodes[name].rib.Prefer(proto)
+	}
+	return nil
+}
+
+// physicalEvent delivers upcalls for a substrate link event and, when
+// the slice opted in, exposes the failure to the virtual topology.
+func (s *Slice) physicalEvent(ev netem.LinkEvent, _ map[int]bool) {
+	for _, vl := range s.vlinks {
+		from := vl.A.phys.Name()
+		to := vl.B.phys.Name()
+		if !s.vini.pathUses(from, to, ev.A, ev.B) {
+			continue
+		}
+		if s.onAlarm != nil {
+			s.onAlarm(LinkAlarm{Event: ev, A: from, B: to})
+		}
+		if s.cfg.ExposePhysicalFailures {
+			vl.SetFailed(ev.Down)
+		}
+	}
+}
+
+// ospfCfg builds the per-node OSPF configuration.
+func (vn *VirtualNode) startOSPF(hello, dead time.Duration) {
+	stubs := []ospf.StubDesc{{Prefix: netip.PrefixFrom(vn.TapAddr, 32)}}
+	for _, p := range vn.extraStubs {
+		stubs = append(stubs, ospf.StubDesc{Prefix: p})
+	}
+	cfg := ospf.Config{
+		RouterID: ospf.RouterIDFromAddr(vn.TapAddr),
+		Hello:    hello,
+		Dead:     dead,
+		SPFDelay: vn.slice.SPFDelay,
+		Stubs:    stubs,
+	}
+	r := ospf.New(vn.slice.vini.loop, cfg, ospfTransport{vn})
+	for _, ifc := range vn.ifaces {
+		r.AddInterface(ospf.Interface{
+			Name:   fmt.Sprintf("tun%d", ifc.Index),
+			Index:  ifc.Index,
+			Addr:   ifc.Addr,
+			Prefix: ifc.Prefix,
+			Cost:   ifc.Cost,
+		})
+	}
+	vn.OSPF = r
+	r.OnRoutes(func(routes []fib.Route) { vn.installProtocolRoutes("ospf", routes) })
+	r.Start()
+}
+
+func (vn *VirtualNode) startRIP(update time.Duration) {
+	stubs := []netip.Prefix{netip.PrefixFrom(vn.TapAddr, 32)}
+	stubs = append(stubs, vn.extraStubs...)
+	r := rip.New(vn.slice.vini.loop, rip.Config{Update: update, Stubs: stubs}, ripTransport{vn})
+	for _, ifc := range vn.ifaces {
+		r.AddInterface(rip.Interface{
+			Name:   fmt.Sprintf("tun%d", ifc.Index),
+			Index:  ifc.Index,
+			Addr:   ifc.Addr,
+			Prefix: ifc.Prefix,
+		})
+	}
+	vn.RIP = r
+	r.OnRoutes(func(routes []fib.Route) { vn.installProtocolRoutes("rip", routes) })
+	r.Start()
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"vini/internal/click"
+	"vini/internal/fea"
+	"vini/internal/fib"
+	"vini/internal/netem"
+	"vini/internal/ospf"
+	"vini/internal/packet"
+	"vini/internal/rip"
+)
+
+// LookupIPRoute output-port convention in the generated IIAS config.
+const (
+	portEncap   = 0 // forward via the encapsulation table
+	portTap     = 1 // deliver to the local tap0
+	portUnreach = 2 // no route: ICMP unreachable
+	portNAPT    = 3 // leave the overlay via NAT (egress nodes)
+	portVPN     = 4 // return to an opted-in VPN client (ingress nodes)
+)
+
+// VIface is one virtual interface (a UML-style device backed by a UDP
+// tunnel).
+type VIface struct {
+	Index    int
+	Addr     netip.Addr
+	Prefix   netip.Prefix
+	Peer     *VirtualNode
+	PeerAddr netip.Addr
+	Cost     uint32
+}
+
+// VirtualNode is the slice's presence on one physical node: the IIAS
+// router of the paper's Figure 1 — a Click process forwarding between
+// UDP tunnels and the local tap0, with XORP-role routing processes
+// configuring its FIB through the FEA.
+type VirtualNode struct {
+	slice *Slice
+	phys  *netem.Node
+	proc  *netem.Process
+	// Router is the Click graph, built by parsing a generated
+	// configuration in the Click language.
+	Router *click.Router
+	FIB    *fib.Table
+	Encap  *fib.EncapTable
+	rib    *fea.RIB
+	// TapAddr is this virtual node's address (tap0).
+	TapAddr netip.Addr
+	ifaces  []*VIface
+	// Routing processes (nil until started).
+	OSPF *ospf.Router
+	RIP  *rip.Router
+	// extraStubs are additional prefixes this node advertises (an
+	// egress node announces 0.0.0.0/0).
+	extraStubs []netip.Prefix
+	// bgpRaw holds unresolved BGP routes (next hop = egress overlay
+	// address), re-resolved against the IGP on every route change;
+	// bgpAttached distinguishes "no routes" from "no BGP".
+	bgpRaw      []fib.Route
+	bgpAttached bool
+	// vpn holds per-client ingress sessions on designated nodes.
+	vpn *vpnServer
+	// Trace taps life-of-a-packet events when set.
+	Trace func(element, event string, p *packet.Packet)
+}
+
+// iiasConfig is the Click-language configuration IIAS generates for each
+// virtual node; tunnels add per-link chains on top of it. This mirrors
+// the paper's Figure 1 data plane.
+const iiasConfig = `
+// IIAS data plane (Figure 1): tunnels and tap in, FIB lookup, tunnels
+// and tap out. Failure injection sits on the per-tunnel chains.
+fromtap :: FromTap;
+fromtun :: FromTunnel;
+chk :: CheckIPHeader;
+dec :: DecIPTTL;
+rt :: LookupIPRoute(NOROUTE 2);
+encap :: EncapTunnel;
+ttlerr :: ICMPError(11, 0);
+unreach :: ICMPError(3, 0);
+totap :: ToTap;
+bad :: Discard;
+fromtap -> rt;
+fromtun -> chk;
+chk[0] -> dec;
+chk[1] -> bad;
+dec[0] -> rt;
+dec[1] -> ttlerr;
+ttlerr -> rt;
+rt[0] -> encap;
+rt[1] -> totap;
+rt[2] -> unreach;
+unreach -> rt;
+`
+
+func newVirtualNode(s *Slice, phys *netem.Node, tap netip.Addr) (*VirtualNode, error) {
+	vn := &VirtualNode{
+		slice:   s,
+		phys:    phys,
+		FIB:     fib.New(),
+		Encap:   fib.NewEncapTable(),
+		TapAddr: tap,
+	}
+	vn.rib = fea.NewRIB(vn.FIB)
+	vn.proc = phys.NewProcess(netem.ProcessConfig{
+		Name:   s.cfg.Name + "-click",
+		RT:     s.cfg.RT,
+		Share:  s.cfg.CPUShare,
+		Strict: s.cfg.Strict,
+	})
+	ctx := &click.Context{
+		Clock:     s.vini.loop,
+		RNG:       s.vini.loop.RNG().Fork(),
+		FIB:       vn.FIB,
+		Encap:     vn.Encap,
+		Tunnels:   (*tunnelTransport)(vn),
+		Tap:       (*tapSink)(vn),
+		External:  (*externalSink)(vn),
+		VPN:       (*vpnSink)(vn),
+		LocalAddr: packet.Flow{Src: tap},
+		Trace: func(el, ev string, p *packet.Packet) {
+			if vn.Trace != nil {
+				vn.Trace(el, ev, p)
+			}
+		},
+	}
+	r, err := click.ParseConfig(ctx, iiasConfig)
+	if err != nil {
+		return nil, fmt.Errorf("core: IIAS config: %w", err)
+	}
+	vn.Router = r
+	// tap0: the kernel routes the slice's block into its Click. (The
+	// paper routes all of 10/8 to tap0 with per-slice demux in the
+	// modified TUN/TAP driver; scoping each slice's tap to its own /16
+	// achieves the same isolation here.)
+	vn.proc.OpenTap(s.Prefix(), func(p *packet.Packet) {
+		vn.Router.Push("fromtap", 0, p)
+	})
+	// One tunnel socket per virtual node; peers are distinguished by
+	// source address (the encapsulation table in reverse).
+	if _, err := vn.proc.OpenUDP(s.basePort, vn.tunnelReceive); err != nil {
+		return nil, err
+	}
+	// The node answers for its tap address.
+	phys.AddAddr(tap)
+	// Connected host route for the tap address itself.
+	vn.rib.SetRoutes("connected", fea.DistConnected, []fib.Route{
+		{Prefix: netip.PrefixFrom(tap, 32), OutPort: portTap},
+	})
+	if err := r.Initialize(); err != nil {
+		return nil, err
+	}
+	return vn, nil
+}
+
+// Phys returns the hosting physical node.
+func (vn *VirtualNode) Phys() *netem.Node { return vn.phys }
+
+// DivertPrefix adds a tap route so locally originated traffic to an
+// external prefix enters this slice's overlay instead of the substrate —
+// how applications on a PL-VINI node send Internet-bound traffic through
+// IIAS to the egress NAT (Section 4.2.3's "tap0 provides another
+// ingress/egress mechanism for applications running in the same slice").
+func (vn *VirtualNode) DivertPrefix(p netip.Prefix) {
+	vn.proc.OpenTap(p, func(pkt *packet.Packet) {
+		vn.Router.Push("fromtap", 0, pkt)
+	})
+}
+
+// Proc returns the Click forwarder process (for scheduler statistics).
+func (vn *VirtualNode) Proc() *netem.Process { return vn.proc }
+
+// Interfaces returns the virtual interfaces.
+func (vn *VirtualNode) Interfaces() []VIface {
+	out := make([]VIface, len(vn.ifaces))
+	for i, ifc := range vn.ifaces {
+		out[i] = *ifc
+	}
+	return out
+}
+
+// addInterface wires one end of a virtual link: interface bookkeeping,
+// encap entry, the per-tunnel Click chain, and connected routes.
+func (vn *VirtualNode) addInterface(prefix netip.Prefix, local, peerAddr netip.Addr, peer *VirtualNode, cost uint32) (int, error) {
+	idx := len(vn.ifaces)
+	ifc := &VIface{Index: idx, Addr: local, Prefix: prefix, Peer: peer, PeerAddr: peerAddr, Cost: cost}
+	vn.ifaces = append(vn.ifaces, ifc)
+	vn.Encap.Set(fib.EncapEntry{
+		NextHop: peerAddr,
+		Remote:  peer.phys.Addr(),
+		Port:    peer.slice.basePort,
+		Tunnel:  idx,
+	})
+	// Per-tunnel chain: encap[idx] -> fail<idx> -> shape<idx> -> tun<idx>.
+	// The shaper starts unlimited; VirtualLink.SetBandwidth turns it on
+	// (the §6.2 "setting link bandwidths via traffic shapers in Click").
+	failName := fmt.Sprintf("fail%d", idx)
+	shapeName := fmt.Sprintf("shape%d", idx)
+	tunName := fmt.Sprintf("tun%d", idx)
+	cfg := fmt.Sprintf("%s :: LinkFail;\n%s :: BandwidthShaper(0, 512);\n%s :: ToTunnel(%d);\n"+
+		"encap[%d] -> %s;\n%s -> %s;\n%s -> %s;",
+		failName, shapeName, tunName, idx,
+		idx, failName, failName, shapeName, shapeName, tunName)
+	if err := click.ParseInto(vn.Router, cfg); err != nil {
+		return 0, err
+	}
+	if err := vn.Router.Initialize(); err != nil {
+		return 0, err
+	}
+	// The node answers for its interface address; connected routes send
+	// /30 traffic to the peer via the tunnel and our own address to tap.
+	vn.phys.AddAddr(local)
+	vn.addConnected(fib.Route{Prefix: netip.PrefixFrom(local, 32), OutPort: portTap})
+	vn.addConnected(fib.Route{Prefix: prefix.Masked(), NextHop: peerAddr, OutPort: portEncap, Metric: 1})
+	return idx, nil
+}
+
+// connected accumulates the connected-route set (the RIB replaces whole
+// protocol sets, so we re-issue all of them).
+func (vn *VirtualNode) addConnected(r fib.Route) {
+	var all []fib.Route
+	all = append(all, fib.Route{Prefix: netip.PrefixFrom(vn.TapAddr, 32), OutPort: portTap})
+	for _, ifc := range vn.ifaces {
+		all = append(all, fib.Route{Prefix: netip.PrefixFrom(ifc.Addr, 32), OutPort: portTap})
+		all = append(all, fib.Route{Prefix: ifc.Prefix.Masked(), NextHop: ifc.PeerAddr, OutPort: portEncap, Metric: 1})
+	}
+	vn.rib.SetRoutes("connected", fea.DistConnected, all)
+}
+
+// setTunnelFailed flips the Click LinkFail element for one tunnel.
+func (vn *VirtualNode) setTunnelFailed(idx int, v bool) {
+	name := fmt.Sprintf("fail%d.active", idx)
+	val := "false"
+	if v {
+		val = "true"
+	}
+	vn.Router.Handler(name, val)
+}
+
+// installProtocolRoutes adapts protocol routes (OutPort = interface
+// index) to the IIAS Click port convention before the RIB merge: any
+// route with a next hop forwards via the encapsulation table.
+func (vn *VirtualNode) installProtocolRoutes(proto string, routes []fib.Route) {
+	dist := fea.DistOSPF
+	if proto == "rip" {
+		dist = fea.DistRIP
+	}
+	adapted := make([]fib.Route, 0, len(routes))
+	for _, r := range routes {
+		if r.NextHop.IsValid() {
+			r.OutPort = portEncap
+		} else {
+			r.OutPort = portTap
+		}
+		adapted = append(adapted, r)
+	}
+	vn.rib.SetRoutes(proto, dist, adapted)
+	// IGP changes move BGP next hops: re-resolve (recursive resolution).
+	vn.resolveBGP()
+}
+
+// tunnelReceive is the slice's UDP socket handler: decapsulate, identify
+// the tunnel by outer source, and demultiplex control traffic to the
+// routing processes (the uml_switch path of Figure 1) or data into the
+// Click graph.
+func (vn *VirtualNode) tunnelReceive(p *packet.Packet) {
+	var outer packet.IPv4
+	seg, err := outer.Parse(p.Data)
+	if err != nil {
+		return
+	}
+	var u packet.UDP
+	inner, err := u.Parse(seg)
+	if err != nil {
+		return
+	}
+	idx := -1
+	for _, e := range vn.Encap.Entries() {
+		if e.Remote == outer.Src {
+			idx = e.Tunnel
+			break
+		}
+	}
+	if idx < 0 {
+		return // not from a known neighbor; VNET isolation drops it
+	}
+	var iip packet.IPv4
+	ipayload, err := iip.Parse(inner)
+	if err != nil {
+		return
+	}
+	ifc := vn.ifaces[idx]
+	switch {
+	case iip.Proto == packet.ProtoOSPF && vn.OSPF != nil:
+		vn.OSPF.Receive(idx, iip.Src, ipayload)
+		return
+	case iip.Proto == packet.ProtoUDP:
+		var iu packet.UDP
+		if body, err := iu.Parse(ipayload); err == nil && iu.DstPort == 520 && vn.RIP != nil {
+			vn.RIP.Receive(idx, iip.Src, body)
+			return
+		}
+	}
+	q := packet.New(append([]byte(nil), inner...))
+	q.Anno.Timestamp = p.Anno.Timestamp
+	q.Anno.InPort = idx
+	q.Anno.SliceID = vn.slice.id
+	_ = ifc
+	vn.Router.Push("fromtun", 0, q)
+}
+
+// sendControl pushes a routing-protocol packet into the per-tunnel Click
+// chain so failure injection cuts routing adjacencies exactly as it cuts
+// data traffic.
+func (vn *VirtualNode) sendControl(ifIndex int, dgram []byte) {
+	if ifIndex < 0 || ifIndex >= len(vn.ifaces) {
+		return
+	}
+	p := packet.New(dgram)
+	p.Anno.Timestamp = vn.slice.vini.loop.Now()
+	p.Anno.NextHop = vn.ifaces[ifIndex].PeerAddr
+	vn.Router.Push(fmt.Sprintf("fail%d", ifIndex), 0, p)
+}
+
+// ospfTransport adapts the OSPF Transport interface onto the vnode.
+type ospfTransport struct{ vn *VirtualNode }
+
+func (t ospfTransport) SendRouting(ifIndex int, payload []byte) {
+	vn := t.vn
+	if ifIndex < 0 || ifIndex >= len(vn.ifaces) {
+		return
+	}
+	ifc := vn.ifaces[ifIndex]
+	hdr := packet.IPv4{TTL: 1, Proto: packet.ProtoOSPF, Src: ifc.Addr, Dst: ifc.PeerAddr}
+	vn.sendControl(ifIndex, hdr.Marshal(payload))
+}
+
+// ripTransport wraps RIP messages in inner UDP port 520.
+type ripTransport struct{ vn *VirtualNode }
+
+func (t ripTransport) SendRouting(ifIndex int, payload []byte) {
+	vn := t.vn
+	if ifIndex < 0 || ifIndex >= len(vn.ifaces) {
+		return
+	}
+	ifc := vn.ifaces[ifIndex]
+	vn.sendControl(ifIndex, packet.BuildUDP(ifc.Addr, ifc.PeerAddr, 520, 520, 1, payload))
+}
+
+// tunnelTransport implements click.TunnelTransport: wrap the overlay
+// packet in UDP and send it from the slice's socket via the substrate.
+type tunnelTransport VirtualNode
+
+func (t *tunnelTransport) SendTunnel(e fib.EncapEntry, p *packet.Packet) {
+	vn := (*VirtualNode)(t)
+	vn.proc.SendUDP(vn.slice.basePort, netip.AddrPortFrom(e.Remote, e.Port), p.Data, 64)
+}
+
+// tapSink implements click.TapSink: deliver overlay packets addressed to
+// this virtual node to local applications through the kernel.
+type tapSink VirtualNode
+
+func (t *tapSink) DeliverTap(p *packet.Packet) {
+	vn := (*VirtualNode)(t)
+	vn.phys.InjectLocal(p.Data)
+}
+
+// DumpFIB renders the virtual node's forwarding table.
+func (vn *VirtualNode) DumpFIB() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s) FIB:\n", vn.slice.cfg.Name, vn.phys.Name())
+	b.WriteString(vn.FIB.String())
+	return b.String()
+}

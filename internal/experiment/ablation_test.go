@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCPUIsolationAblation(t *testing.T) {
+	rows, err := CPUIsolationAblation(3, 12*time.Second, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]IsolationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	def := byName["default share"]
+	res := byName["reservation only"]
+	rt := byName["RT priority only"]
+	both := byName["reservation + RT (PL-VINI)"]
+	// The reservation buys throughput (the bucket must actually run dry,
+	// hence the 12 s window)...
+	if res.Mbps < 1.4*def.Mbps {
+		t.Fatalf("reservation-only %.1f Mb/s not >> default %.1f", res.Mbps, def.Mbps)
+	}
+	// ...and real-time priority buys scheduling latency: with both knobs
+	// the mdev collapses relative to default share.
+	if both.PingMdev > def.PingMdev/4 {
+		t.Fatalf("PL-VINI mdev %.2f not << default %.2f", both.PingMdev, def.PingMdev)
+	}
+	// RT priority alone cannot sustain throughput (tokens run dry).
+	if rt.Mbps > both.Mbps {
+		t.Fatalf("RT-only %.1f should not beat both knobs %.1f", rt.Mbps, both.Mbps)
+	}
+	// Combined must be at least as good on both axes as default share.
+	if both.Mbps < def.Mbps || both.PingMax > def.PingMax {
+		t.Fatalf("both knobs worse than default: %+v vs %+v", both, def)
+	}
+}
+
+func TestSocketBufferAblation(t *testing.T) {
+	rows, err := SocketBufferAblation(4, []int{32, 128, 1024}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Loss must fall (weakly) as the buffer grows, and a tiny buffer
+	// must lose substantially at 45 Mb/s.
+	if rows[0].LossPct < 3 {
+		t.Fatalf("32KB buffer loss = %.2f%%, want substantial", rows[0].LossPct)
+	}
+	if rows[2].LossPct > rows[0].LossPct/2 {
+		t.Fatalf("1MB buffer loss %.2f%% not well below 32KB's %.2f%%",
+			rows[2].LossPct, rows[0].LossPct)
+	}
+}
+
+func TestPacketSizeAblation(t *testing.T) {
+	rows, err := PacketSizeAblation(5, []int{64, 512, 1400}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bits/s capacity grows with packet size (syscall cost amortized)...
+	if !(rows[0].Mbps < rows[1].Mbps && rows[1].Mbps < rows[2].Mbps) {
+		t.Fatalf("Mb/s not increasing with size: %+v", rows)
+	}
+	// ...while packets/s shrinks (per-byte copy cost grows).
+	if !(rows[0].KppsMeasured > rows[2].KppsMeasured) {
+		t.Fatalf("kpps not decreasing with size: %+v", rows)
+	}
+	// Small packets are syscall-bound: ~1/(6×5µs) ≈ 32 kpps ceiling.
+	if rows[0].KppsMeasured < 15 || rows[0].KppsMeasured > 40 {
+		t.Fatalf("64B forwarding = %.1f kpps, want near the syscall bound", rows[0].KppsMeasured)
+	}
+}
+
+func TestBGPMuxAblation(t *testing.T) {
+	row, err := BGPMuxAblation(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SessionsWithMux != 1 || row.SessionsWithout != 8 {
+		t.Fatalf("session counts: %+v", row)
+	}
+	if row.RejectedHijacks == 0 {
+		t.Fatal("hijack attempt not rejected")
+	}
+	if row.RateLimitedFloods < 15 {
+		t.Fatalf("flood not rate limited: %+v", row)
+	}
+}

@@ -1,0 +1,399 @@
+package experiment
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment tests verify the paper's qualitative results — who
+// wins, by roughly what factor, where crossovers fall — with shortened
+// measurement windows to keep the suite fast. The full-length paper
+// parameters live in cmd/vinibench and bench_test.go.
+
+func TestTable2Shape(t *testing.T) {
+	native, err := Table2(1, false, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iias, err := Table2(1, true, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: native 940 Mb/s at 48% CPU; IIAS ~195 Mb/s at 99% CPU —
+	// user-space forwarding reaches ~10-25% of kernel rate, CPU-bound.
+	if native.Mbps < 850 || native.Mbps > 1000 {
+		t.Fatalf("native = %.0f Mb/s, want ~940", native.Mbps)
+	}
+	if native.CPU > 0.8 {
+		t.Fatalf("native fwdr CPU = %.2f, want well under 1", native.CPU)
+	}
+	if iias.Mbps < 120 || iias.Mbps > 260 {
+		t.Fatalf("IIAS = %.0f Mb/s, want ~195", iias.Mbps)
+	}
+	if iias.CPU < 0.95 {
+		t.Fatalf("IIAS fwdr CPU = %.2f, want ~0.99 (CPU-bound)", iias.CPU)
+	}
+	if ratio := iias.Mbps / native.Mbps; ratio > 0.3 {
+		t.Fatalf("IIAS/native = %.2f, want ~0.2", ratio)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	native, err := Table3(1, false, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iias, err := Table3(1, true, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 0.414 ms vs 0.547 ms — IIAS adds ~130 µs without changing
+	// the deviation.
+	if native.Avg < 0.3 || native.Avg > 0.55 {
+		t.Fatalf("native avg = %.3f ms, want ~0.41", native.Avg)
+	}
+	added := iias.Avg - native.Avg
+	if added < 0.08 || added > 0.30 {
+		t.Fatalf("IIAS adds %.3f ms, want ~0.13", added)
+	}
+	if iias.LossPct != 0 || native.LossPct != 0 {
+		t.Fatal("loss on dedicated hardware")
+	}
+	if iias.Mdev > 0.2 {
+		t.Fatalf("IIAS mdev = %.3f, want small (paper: unchanged)", iias.Mdev)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	native, err := Table4(1, ModeNative, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Table4(1, ModeDefaultShare, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plvini, err := Table4(1, ModePLVINI, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 90.8 / 22.5 / 86.2 Mb/s.
+	if native.Mbps < 80 || native.Mbps > 100 {
+		t.Fatalf("native = %.1f, want ~90", native.Mbps)
+	}
+	if def.Mbps > native.Mbps/2 {
+		t.Fatalf("default share = %.1f, want far below native %.1f", def.Mbps, native.Mbps)
+	}
+	if plvini.Mbps < 2.5*def.Mbps {
+		t.Fatalf("PL-VINI %.1f not ~4x default %.1f", plvini.Mbps, def.Mbps)
+	}
+	if plvini.Mbps < 0.65*native.Mbps {
+		t.Fatalf("PL-VINI %.1f does not approach native %.1f", plvini.Mbps, native.Mbps)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	native, err := Table5(1, ModeNative, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Table5(1, ModeDefaultShare, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plvini, err := Table5(1, ModePLVINI, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: avg 24.5 / 27.7 / 25.1; mdev 0.2 / 4.8 / 0.38.
+	if native.Avg < 24 || native.Avg > 26 {
+		t.Fatalf("native avg = %.2f, want ~24.5", native.Avg)
+	}
+	if def.Mdev < 5*native.Mdev {
+		t.Fatalf("default mdev %.2f not >> native %.2f (paper: 20x)", def.Mdev, native.Mdev)
+	}
+	if plvini.Mdev > def.Mdev/4 {
+		t.Fatalf("PL-VINI mdev %.2f not <= default/4 (%.2f)", plvini.Mdev, def.Mdev)
+	}
+	if plvini.Avg > native.Avg+2.5 {
+		t.Fatalf("PL-VINI avg %.2f too far above native %.2f", plvini.Avg, native.Avg)
+	}
+	if def.Max < plvini.Max*1.5 {
+		t.Fatalf("default max %.1f should dwarf PL-VINI max %.1f", def.Max, plvini.Max)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	rates := []float64{5, 25, 45}
+	def, err := Figure6(2, ModeDefaultShare, rates, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plv, err := Figure6(2, ModePLVINI, rates, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper 6(a): loss grows with rate up to ~14% at 45 Mb/s.
+	if def[2].LossPct < 4 {
+		t.Fatalf("default-share loss at 45 Mb/s = %.2f%%, want >> 0", def[2].LossPct)
+	}
+	if def[0].LossPct > def[2].LossPct {
+		t.Fatalf("loss not increasing with rate: %+v", def)
+	}
+	// Paper 6(b): PL-VINI comparable to the network (< ~2%).
+	for _, p := range plv {
+		if p.LossPct > 2 {
+			t.Fatalf("PL-VINI loss at %.0f Mb/s = %.2f%%", p.RateMbps, p.LossPct)
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	e, err := NewAbilene(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := e.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classify := func(lo, hi float64) func(RTTPoint) bool {
+		return func(p RTTPoint) bool { return !p.Lost && p.RTTms >= lo && p.RTTms <= hi }
+	}
+	is76 := classify(75, 78)
+	is93 := classify(92, 95)
+	var pre76, mid93, post76, lost int
+	for _, p := range pts {
+		switch {
+		case p.T < 10 && is76(p):
+			pre76++
+		case p.T > 20 && p.T < 33 && is93(p):
+			mid93++
+		case p.T > 44 && is76(p):
+			post76++
+		case p.Lost && p.T > 10 && p.T < 20:
+			lost++
+		}
+	}
+	// Before the failure every sample sits at the 76 ms default path.
+	if pre76 < 40 {
+		t.Fatalf("pre-failure 76ms samples = %d", pre76)
+	}
+	// The outage loses pings until OSPF converges (~dead interval).
+	if lost < 10 {
+		t.Fatalf("outage losses = %d, want >= 10", lost)
+	}
+	// The re-route settles on the 93 ms path via Atlanta.
+	if mid93 < 50 {
+		t.Fatalf("93ms samples after reroute = %d", mid93)
+	}
+	// After restoration the RTT returns to 76 ms.
+	if post76 < 20 {
+		t.Fatalf("post-restore 76ms samples = %d", post76)
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	e, err := NewAbilene(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := e.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbAt := func(tt float64) float64 {
+		var mb float64
+		for _, a := range arr {
+			if a.T <= tt {
+				mb = a.MB
+			}
+		}
+		return mb
+	}
+	at10 := mbAt(10)
+	// Window-limited throughput before the failure: 16 KB / 76 ms ≈
+	// 1.7 Mb/s ≈ 0.215 MB/s → ~2.1 MB in 10 s (allowing slow start).
+	if at10 < 1.2 || at10 > 2.6 {
+		t.Fatalf("bytes by t=10 = %.2f MB", at10)
+	}
+	// The stream stalls during the outage...
+	stallEnd := 10.0
+	for _, a := range arr {
+		if a.T > 10.5 && a.MB > at10+0.1 {
+			stallEnd = a.T
+			break
+		}
+	}
+	if stallEnd < 14 || stallEnd > 30 {
+		t.Fatalf("stream resumed at t=%.1f, want after OSPF convergence", stallEnd)
+	}
+	// ...and makes clear progress afterwards.
+	if mbAt(49) < at10+2 {
+		t.Fatalf("no progress after recovery: %.2f -> %.2f MB", at10, mbAt(49))
+	}
+}
+
+func TestSpecParseAndErrors(t *testing.T) {
+	sp, err := ParseSpec(`
+# the §5.2 experiment
+topology abilene
+slice iias reservation 0.25 rt
+ospf hello 5s dead 10s
+ping washington seattle interval 200ms
+iperf-tcp washington seattle window 16384 streams 1
+udp-cbr washington seattle rate 10M
+at 10s fail-virtual denver kansas-city
+at 34s restore-virtual denver kansas-city
+duration 50s
+warmup 30s
+seed 7
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Topology != "abilene" || sp.Slice.Name != "iias" || !sp.Slice.RT ||
+		sp.Slice.CPUShare != 0.25 || sp.Hello != 5*time.Second ||
+		len(sp.Traffic) != 3 || len(sp.Events) != 2 || sp.Seed != 7 {
+		t.Fatalf("parsed spec = %+v", sp)
+	}
+	if sp.Traffic[2].RateBps != 10e6 {
+		t.Fatalf("rate = %v", sp.Traffic[2].RateBps)
+	}
+	bad := []string{
+		"topology mars",
+		"topology abilene\nslice s share 2.0",
+		"topology abilene\nat 10s explode a b",
+		"topology abilene\nping onlyone",
+		"topology abilene\nfrobnicate",
+		"duration 10s", // no topology
+		"topology abilene\nudp-cbr a b rate -3",
+	}
+	for _, b := range bad {
+		if _, err := ParseSpec(b); err == nil {
+			t.Errorf("spec %q accepted", b)
+		}
+	}
+}
+
+func TestSpecRunLineTopology(t *testing.T) {
+	sp, err := ParseSpec(`
+topology line alpha beta gamma
+slice test reservation 0.3 rt
+ospf hello 1s dead 3s
+ping alpha gamma interval 100ms
+warmup 20s
+duration 5s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pings) != 1 {
+		t.Fatalf("pings = %d", len(res.Pings))
+	}
+	p := res.Pings[0]
+	if p.LossPct != 0 {
+		t.Fatalf("loss = %.1f%%", p.LossPct)
+	}
+	// Two 5 ms virtual hops: RTT ~20 ms plus forwarding overheads.
+	if p.Avg < 19 || p.Avg > 25 {
+		t.Fatalf("avg RTT = %.2f ms", p.Avg)
+	}
+}
+
+func TestSpecRunFailureEvent(t *testing.T) {
+	sp, err := ParseSpec(`
+topology line a b c
+slice test reservation 0.3 rt
+ospf hello 1s dead 3s
+ping a c interval 200ms
+at 3s fail-virtual a b
+warmup 20s
+duration 10s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Pings[0]
+	// The a-b link is the only path to c: pings are lost after t=3.
+	if p.LossPct < 30 {
+		t.Fatalf("loss = %.1f%%, want most post-failure pings lost", p.LossPct)
+	}
+	if len(res.Log) != 1 || !strings.Contains(res.Log[0], "fail-virtual") {
+		t.Fatalf("event log = %v", res.Log)
+	}
+}
+
+// TestShippedSpecsParseAndStarRing keeps the specs/ directory honest and
+// covers the ring and star topologies.
+func TestShippedSpecsParseAndRing(t *testing.T) {
+	for _, f := range []string{"../../specs/abilene-figure8.spec", "../../specs/ring-failover.spec"} {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseSpec(string(text)); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+	}
+	// The ring reroutes around a failed link (longer path, no loss after
+	// convergence).
+	sp, err := ParseSpec(`
+topology ring n e s w
+slice r reservation 0.3 rt
+ospf hello 1s dead 3s
+ping n e interval 250ms
+at 5s fail-virtual n e
+warmup 20s
+duration 25s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Pings[0]
+	// Some pings are lost during reconvergence, then traffic flows the
+	// long way around (3 hops instead of the direct 1).
+	if p.LossPct == 0 || p.LossPct > 40 {
+		t.Fatalf("ring failover loss = %.1f%%", p.LossPct)
+	}
+	var before, after float64
+	for _, smp := range p.Timeline {
+		if smp.Lost {
+			continue
+		}
+		if smp.T < 5 {
+			before = smp.RTTms
+		} else if smp.T > 15 {
+			after = smp.RTTms
+		}
+	}
+	if after < before+5 {
+		t.Fatalf("RTT did not grow after reroute: %.1f -> %.1f ms", before, after)
+	}
+	// Star topology runs too.
+	sp2, err := ParseSpec("topology star hub a b c\nospf hello 1s dead 3s\nping a c interval 500ms\nwarmup 15s\nduration 4s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sp2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Pings[0].LossPct != 0 {
+		t.Fatalf("star loss = %.1f%%", res2.Pings[0].LossPct)
+	}
+}

@@ -1,0 +1,130 @@
+// Package fea is the Forwarding Engine Abstraction: the layer through
+// which routing processes (internal/ospf, internal/rip, internal/bgp)
+// manipulate forwarding state, as XORP's FEA does for the Click data
+// plane (Section 4.2.2 of the paper). It contains a small RIB that
+// merges the routes of several protocols by administrative distance and
+// pushes the winners into the slice's Click FIB atomically.
+package fea
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+
+	"vini/internal/fib"
+)
+
+// Administrative distances, matching common router defaults.
+const (
+	DistConnected = 0
+	DistStatic    = 1
+	DistEBGP      = 20
+	DistOSPF      = 110
+	DistRIP       = 120
+	DistIBGP      = 200
+)
+
+// protoRoute is a route candidate contributed by one protocol.
+type protoRoute struct {
+	fib.Route
+	dist int
+}
+
+// RIB merges per-protocol route sets and installs winners into a FIB.
+type RIB struct {
+	mu     sync.Mutex
+	target *fib.Table
+	// byProto holds each protocol's latest full announcement.
+	byProto map[string][]protoRoute
+	// preferred, when set, beats administrative distance — the atomic
+	// switchover lever ("controlling the forwarding tables ... in one
+	// virtual network at any given time, with atomic switchover").
+	preferred string
+}
+
+// NewRIB returns a RIB feeding target.
+func NewRIB(target *fib.Table) *RIB {
+	return &RIB{target: target, byProto: make(map[string][]protoRoute)}
+}
+
+// SetRoutes replaces proto's entire route set (protocols recompute whole
+// tables — OSPF after SPF, RIP after a periodic update) and recomputes
+// the FIB. dist is the protocol's administrative distance.
+func (r *RIB) SetRoutes(proto string, dist int, routes []fib.Route) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prs := make([]protoRoute, 0, len(routes))
+	for _, rt := range routes {
+		rt.Proto = proto
+		prs = append(prs, protoRoute{Route: rt, dist: dist})
+	}
+	r.byProto[proto] = prs
+	r.recompute()
+}
+
+// Prefer makes proto win route selection regardless of administrative
+// distance (empty string restores normal selection). The change applies
+// atomically across the whole table.
+func (r *RIB) Prefer(proto string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.preferred = proto
+	r.recompute()
+}
+
+// RemoveProtocol withdraws everything a protocol contributed.
+func (r *RIB) RemoveProtocol(proto string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.byProto, proto)
+	r.recompute()
+}
+
+// recompute picks, per prefix, the route with the lowest administrative
+// distance (metric breaks ties, then protocol name for determinism) and
+// atomically replaces the FIB contents.
+func (r *RIB) recompute() {
+	best := make(map[netip.Prefix]protoRoute)
+	for _, prs := range r.byProto {
+		for _, pr := range prs {
+			key := pr.Prefix.Masked()
+			cur, ok := best[key]
+			if !ok || r.better(pr, cur) {
+				best[key] = pr
+			}
+		}
+	}
+	routes := make([]fib.Route, 0, len(best))
+	for _, pr := range best {
+		routes = append(routes, pr.Route)
+	}
+	sort.Slice(routes, func(i, j int) bool {
+		return routes[i].Prefix.String() < routes[j].Prefix.String()
+	})
+	r.target.Replace("rib", routes)
+}
+
+func (r *RIB) better(pr, other protoRoute) bool {
+	if r.preferred != "" {
+		// "connected" still wins (a directly attached subnet is never
+		// reached through a protocol route), then the preference.
+		if (pr.dist == DistConnected) != (other.dist == DistConnected) {
+			return pr.dist == DistConnected
+		}
+		if (pr.Proto == r.preferred) != (other.Proto == r.preferred) {
+			return pr.Proto == r.preferred
+		}
+	}
+	if pr.dist != other.dist {
+		return pr.dist < other.dist
+	}
+	if pr.Metric != other.Metric {
+		return pr.Metric < other.Metric
+	}
+	return pr.Proto < other.Proto
+}
+
+// Routes returns the current merged route set (from the target FIB).
+func (r *RIB) Routes() []fib.Route {
+	return r.target.Routes()
+}

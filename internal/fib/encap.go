@@ -1,0 +1,77 @@
+package fib
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// EncapEntry maps a virtual next hop (the address of a UML-style virtual
+// interface on a neighboring virtual node) to the tunnel that reaches it:
+// the public address/port of the PlanetLab node hosting that virtual node.
+type EncapEntry struct {
+	NextHop netip.Addr // virtual interface address (10/8 space)
+	Remote  netip.Addr // public address of the physical node
+	Port    uint16     // UDP tunnel port
+	Tunnel  int        // local tunnel index (Click output port)
+}
+
+// EncapTable is the preconfigured table Click consults after the FIB
+// lookup to map the selected virtual next hop onto a UDP tunnel
+// (Section 4.2.1). Unlike the FIB it is exact-match and changes only when
+// the virtual topology changes.
+type EncapTable struct {
+	mu      sync.RWMutex
+	entries map[netip.Addr]EncapEntry
+}
+
+// NewEncapTable returns an empty encapsulation table.
+func NewEncapTable() *EncapTable {
+	return &EncapTable{entries: make(map[netip.Addr]EncapEntry)}
+}
+
+// Set installs the mapping for e.NextHop.
+func (t *EncapTable) Set(e EncapEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[e.NextHop] = e
+}
+
+// Remove deletes the mapping for nextHop.
+func (t *EncapTable) Remove(nextHop netip.Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.entries, nextHop)
+}
+
+// Lookup resolves a virtual next hop to its tunnel.
+func (t *EncapTable) Lookup(nextHop netip.Addr) (EncapEntry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.entries[nextHop]
+	return e, ok
+}
+
+// Len reports the number of mappings.
+func (t *EncapTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Entries returns all mappings sorted by next hop.
+func (t *EncapTable) Entries() []EncapEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]EncapEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NextHop.Less(out[j].NextHop) })
+	return out
+}
+
+func (e EncapEntry) String() string {
+	return fmt.Sprintf("%s -> %s:%d (tunnel %d)", e.NextHop, e.Remote, e.Port, e.Tunnel)
+}

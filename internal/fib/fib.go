@@ -1,0 +1,250 @@
+// Package fib implements the IIAS forwarding state: a longest-prefix-match
+// IPv4 forwarding table (the FIB that XORP installs into Click via the
+// FEA) and the encapsulation table that maps virtual next hops to the
+// public addresses of the physical nodes carrying the UDP tunnels
+// (Section 4.2.1 of the paper).
+package fib
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Route is one FIB entry. NextHop is the virtual interface address of the
+// neighboring virtual node (what XORP installs); an invalid NextHop with
+// valid OutPort means "directly connected / deliver locally on OutPort".
+type Route struct {
+	Prefix  netip.Prefix
+	NextHop netip.Addr
+	OutPort int // element output port / tunnel index
+	Metric  uint32
+	// Owner tags the installer of the route so bulk withdrawals
+	// (RemoveOwner, Replace) only touch their own state. The FEA RIB
+	// installs everything as owner "rib".
+	Owner string
+	// Proto labels the routing protocol that produced the route ("ospf",
+	// "rip", "bgp", "static", "connected"), preserved across RIB merges.
+	Proto string
+}
+
+func (r Route) String() string {
+	return fmt.Sprintf("%s via %s port %d metric %d (%s)",
+		r.Prefix, r.NextHop, r.OutPort, r.Metric, r.Owner)
+}
+
+// node is a binary-trie node keyed on successive destination-address bits.
+type node struct {
+	children [2]*node
+	route    *Route
+}
+
+// Table is a longest-prefix-match IPv4 forwarding table. It is safe for
+// concurrent use: the live overlay looks up from socket readers while the
+// routing process updates routes.
+type Table struct {
+	mu   sync.RWMutex
+	root node
+	n    int
+	// version increments on every mutation; Click's LookupIPRoute element
+	// caches against this.
+	version uint64
+}
+
+// New returns an empty table.
+func New() *Table { return &Table{} }
+
+// Len reports the number of routes.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// Version returns the mutation counter.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+func addrBit(a [4]byte, i int) int {
+	return int(a[i/8]>>(7-i%8)) & 1
+}
+
+// Add inserts or replaces the route for r.Prefix. It returns an error for
+// non-IPv4 or invalid prefixes.
+func (t *Table) Add(r Route) error {
+	if !r.Prefix.IsValid() || !r.Prefix.Addr().Is4() {
+		return fmt.Errorf("fib: invalid IPv4 prefix %v", r.Prefix)
+	}
+	r.Prefix = r.Prefix.Masked()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := &t.root
+	a := r.Prefix.Addr().As4()
+	for i := 0; i < r.Prefix.Bits(); i++ {
+		b := addrBit(a, i)
+		if n.children[b] == nil {
+			n.children[b] = &node{}
+		}
+		n = n.children[b]
+	}
+	if n.route == nil {
+		t.n++
+	}
+	rc := r
+	n.route = &rc
+	t.version++
+	return nil
+}
+
+// Remove deletes the route for prefix, reporting whether it existed.
+func (t *Table) Remove(prefix netip.Prefix) bool {
+	if !prefix.IsValid() || !prefix.Addr().Is4() {
+		return false
+	}
+	prefix = prefix.Masked()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := &t.root
+	a := prefix.Addr().As4()
+	for i := 0; i < prefix.Bits(); i++ {
+		n = n.children[addrBit(a, i)]
+		if n == nil {
+			return false
+		}
+	}
+	if n.route == nil {
+		return false
+	}
+	n.route = nil
+	t.n--
+	t.version++
+	return true
+}
+
+// Lookup returns the longest-prefix-match route for dst.
+func (t *Table) Lookup(dst netip.Addr) (Route, bool) {
+	if !dst.Is4() {
+		return Route{}, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	a := dst.As4()
+	n := &t.root
+	var best *Route
+	for i := 0; ; i++ {
+		if n.route != nil {
+			best = n.route
+		}
+		if i == 32 {
+			break
+		}
+		n = n.children[addrBit(a, i)]
+		if n == nil {
+			break
+		}
+	}
+	if best == nil {
+		return Route{}, false
+	}
+	return *best, true
+}
+
+// RemoveOwner deletes every route installed by owner, returning the count.
+// The FEA uses this when a routing process disconnects or a slice is torn
+// down.
+func (t *Table) RemoveOwner(owner string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.route != nil && n.route.Owner == owner {
+			n.route = nil
+			t.n--
+			removed++
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(&t.root)
+	if removed > 0 {
+		t.version++
+	}
+	return removed
+}
+
+// Routes returns all routes sorted by prefix (address then length), the
+// order `show route` style dumps use.
+func (t *Table) Routes() []Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Route, 0, t.n)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.route != nil {
+			out = append(out, *n.route)
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(&t.root)
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].Prefix.Addr(), out[j].Prefix.Addr()
+		if ai != aj {
+			return ai.Less(aj)
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
+}
+
+// Replace atomically swaps in a whole new route set for owner: routes not
+// in rs are withdrawn, others added/updated. This is the "atomic
+// switchover between virtual networks" primitive from the paper's
+// conclusion.
+func (t *Table) Replace(owner string, rs []Route) {
+	t.mu.Lock()
+	keep := make(map[netip.Prefix]bool, len(rs))
+	for _, r := range rs {
+		keep[r.Prefix.Masked()] = true
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.route != nil && n.route.Owner == owner && !keep[n.route.Prefix] {
+			n.route = nil
+			t.n--
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(&t.root)
+	t.version++
+	t.mu.Unlock()
+	for _, r := range rs {
+		r.Owner = owner
+		t.Add(r)
+	}
+}
+
+// String dumps the table, one route per line.
+func (t *Table) String() string {
+	var b strings.Builder
+	for _, r := range t.Routes() {
+		fmt.Fprintln(&b, r)
+	}
+	return b.String()
+}

@@ -1,0 +1,248 @@
+package fib
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+
+func TestLongestPrefixWins(t *testing.T) {
+	tb := New()
+	for i, p := range []string{"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "10.1.2.3/32"} {
+		if err := tb.Add(Route{Prefix: pfx(p), OutPort: i, Owner: "static"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		dst  string
+		port int
+	}{
+		{"10.1.2.3", 4},
+		{"10.1.2.4", 3},
+		{"10.1.3.1", 2},
+		{"10.2.0.1", 1},
+		{"192.0.2.1", 0},
+	}
+	for _, c := range cases {
+		r, ok := tb.Lookup(addr(c.dst))
+		if !ok || r.OutPort != c.port {
+			t.Fatalf("Lookup(%s) = %+v ok=%v, want port %d", c.dst, r, ok, c.port)
+		}
+	}
+}
+
+func TestNoDefaultNoMatch(t *testing.T) {
+	tb := New()
+	tb.Add(Route{Prefix: pfx("10.0.0.0/8")})
+	if _, ok := tb.Lookup(addr("192.0.2.1")); ok {
+		t.Fatal("matched without a covering prefix")
+	}
+	if _, ok := tb.Lookup(netip.MustParseAddr("2001:db8::1")); ok {
+		t.Fatal("IPv6 lookup matched")
+	}
+}
+
+func TestAddReplaceRemove(t *testing.T) {
+	tb := New()
+	tb.Add(Route{Prefix: pfx("10.0.0.0/8"), Metric: 1})
+	tb.Add(Route{Prefix: pfx("10.0.0.0/8"), Metric: 2})
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after replace", tb.Len())
+	}
+	r, _ := tb.Lookup(addr("10.1.1.1"))
+	if r.Metric != 2 {
+		t.Fatalf("metric = %d, want 2", r.Metric)
+	}
+	if !tb.Remove(pfx("10.0.0.0/8")) {
+		t.Fatal("Remove returned false")
+	}
+	if tb.Remove(pfx("10.0.0.0/8")) {
+		t.Fatal("double Remove returned true")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tb.Len())
+	}
+}
+
+func TestMaskedPrefixNormalization(t *testing.T) {
+	tb := New()
+	tb.Add(Route{Prefix: netip.PrefixFrom(addr("10.1.2.3"), 8)})
+	r, ok := tb.Lookup(addr("10.9.9.9"))
+	if !ok || r.Prefix != pfx("10.0.0.0/8") {
+		t.Fatalf("unmasked insert not normalized: %+v ok=%v", r, ok)
+	}
+}
+
+func TestRejectInvalid(t *testing.T) {
+	tb := New()
+	if err := tb.Add(Route{Prefix: netip.Prefix{}}); err == nil {
+		t.Fatal("invalid prefix accepted")
+	}
+	if err := tb.Add(Route{Prefix: netip.MustParsePrefix("2001:db8::/32")}); err == nil {
+		t.Fatal("IPv6 prefix accepted")
+	}
+}
+
+func TestRemoveOwner(t *testing.T) {
+	tb := New()
+	tb.Add(Route{Prefix: pfx("10.1.0.0/16"), Owner: "ospf"})
+	tb.Add(Route{Prefix: pfx("10.2.0.0/16"), Owner: "ospf"})
+	tb.Add(Route{Prefix: pfx("10.3.0.0/16"), Owner: "static"})
+	if n := tb.RemoveOwner("ospf"); n != 2 {
+		t.Fatalf("RemoveOwner = %d, want 2", n)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+	if _, ok := tb.Lookup(addr("10.3.1.1")); !ok {
+		t.Fatal("static route lost")
+	}
+}
+
+func TestReplaceAtomicSwitchover(t *testing.T) {
+	tb := New()
+	tb.Add(Route{Prefix: pfx("10.1.0.0/16"), Owner: "vnetA", Metric: 1})
+	tb.Add(Route{Prefix: pfx("10.2.0.0/16"), Owner: "vnetA", Metric: 1})
+	tb.Add(Route{Prefix: pfx("10.9.0.0/16"), Owner: "static", Metric: 9})
+	tb.Replace("vnetA", []Route{
+		{Prefix: pfx("10.1.0.0/16"), Metric: 5},
+		{Prefix: pfx("10.4.0.0/16"), Metric: 5},
+	})
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3: %s", tb.Len(), tb)
+	}
+	if _, ok := tb.Lookup(addr("10.2.1.1")); ok {
+		t.Fatal("withdrawn route still present")
+	}
+	r, ok := tb.Lookup(addr("10.4.1.1"))
+	if !ok || r.Metric != 5 || r.Owner != "vnetA" {
+		t.Fatalf("new route wrong: %+v", r)
+	}
+	if _, ok := tb.Lookup(addr("10.9.1.1")); !ok {
+		t.Fatal("other owner's route removed")
+	}
+}
+
+func TestRoutesSorted(t *testing.T) {
+	tb := New()
+	for _, p := range []string{"10.2.0.0/16", "10.0.0.0/8", "10.1.0.0/16", "10.1.0.0/24"} {
+		tb.Add(Route{Prefix: pfx(p)})
+	}
+	rs := tb.Routes()
+	want := []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.0.0/24", "10.2.0.0/16"}
+	for i, w := range want {
+		if rs[i].Prefix.String() != w {
+			t.Fatalf("Routes[%d] = %v, want %s", i, rs[i].Prefix, w)
+		}
+	}
+}
+
+// TestLookupMatchesLinearScan is the property test: trie LPM must agree
+// with a brute-force longest-match reference on random tables.
+func TestLookupMatchesLinearScan(t *testing.T) {
+	f := func(seeds []uint32, probes []uint32) bool {
+		tb := New()
+		var routes []Route
+		for i, s := range seeds {
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], s)
+			bits := int(s % 33)
+			p := netip.PrefixFrom(netip.AddrFrom4(b), bits).Masked()
+			r := Route{Prefix: p, OutPort: i}
+			tb.Add(r)
+			// Linear reference replaces duplicates like the trie does.
+			replaced := false
+			for j := range routes {
+				if routes[j].Prefix == p {
+					routes[j] = r
+					replaced = true
+				}
+			}
+			if !replaced {
+				routes = append(routes, r)
+			}
+		}
+		for _, pr := range probes {
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], pr)
+			dst := netip.AddrFrom4(b)
+			var best *Route
+			for i := range routes {
+				if routes[i].Prefix.Contains(dst) {
+					if best == nil || routes[i].Prefix.Bits() > best.Prefix.Bits() {
+						best = &routes[i]
+					}
+				}
+			}
+			got, ok := tb.Lookup(dst)
+			if (best != nil) != ok {
+				return false
+			}
+			if ok && (got.Prefix != best.Prefix || got.OutPort != best.OutPort) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionIncrements(t *testing.T) {
+	tb := New()
+	v0 := tb.Version()
+	tb.Add(Route{Prefix: pfx("10.0.0.0/8")})
+	if tb.Version() == v0 {
+		t.Fatal("version did not change on Add")
+	}
+	v1 := tb.Version()
+	tb.Remove(pfx("10.0.0.0/8"))
+	if tb.Version() == v1 {
+		t.Fatal("version did not change on Remove")
+	}
+}
+
+func TestEncapTable(t *testing.T) {
+	et := NewEncapTable()
+	e := EncapEntry{NextHop: addr("10.1.1.2"), Remote: addr("198.32.154.250"), Port: 33000, Tunnel: 1}
+	et.Set(e)
+	got, ok := et.Lookup(addr("10.1.1.2"))
+	if !ok || got != e {
+		t.Fatalf("Lookup = %+v ok=%v", got, ok)
+	}
+	if _, ok := et.Lookup(addr("10.1.1.3")); ok {
+		t.Fatal("spurious match")
+	}
+	et.Set(EncapEntry{NextHop: addr("10.1.1.3"), Remote: addr("198.32.154.226"), Port: 33000, Tunnel: 2})
+	if et.Len() != 2 {
+		t.Fatalf("Len = %d", et.Len())
+	}
+	es := et.Entries()
+	if len(es) != 2 || !es[0].NextHop.Less(es[1].NextHop) {
+		t.Fatalf("Entries not sorted: %v", es)
+	}
+	et.Remove(addr("10.1.1.2"))
+	if _, ok := et.Lookup(addr("10.1.1.2")); ok {
+		t.Fatal("removed entry still present")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tb := New()
+	for i := 0; i < 1000; i++ {
+		var a [4]byte
+		binary.BigEndian.PutUint32(a[:], uint32(i)<<14)
+		tb.Add(Route{Prefix: netip.PrefixFrom(netip.AddrFrom4(a), 18).Masked()})
+	}
+	dst := addr("10.1.2.3")
+	tb.Add(Route{Prefix: pfx("10.0.0.0/8")})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(dst)
+	}
+}

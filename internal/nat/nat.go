@@ -1,0 +1,233 @@
+// Package nat implements the Network Address and Port Translation the
+// IIAS egress performs (Section 4.2.3): packets leaving the overlay for
+// hosts that have not opted in get their source rewritten to the egress
+// node's public address and a fresh local port; return traffic matching a
+// binding is rewritten back and re-enters the overlay.
+package nat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"vini/internal/packet"
+)
+
+// Binding is one NAPT session.
+type Binding struct {
+	Inside   packet.Flow // original 5-tuple (overlay side)
+	External uint16      // allocated public port (or ICMP ID)
+	LastUsed time.Duration
+}
+
+// Config controls the translator.
+type Config struct {
+	// External is the public address of the egress node.
+	External netip.Addr
+	// PortLow/PortHigh bound the allocated port range.
+	PortLow, PortHigh uint16
+	// Timeout expires idle bindings; zero means never.
+	Timeout time.Duration
+}
+
+// Table is a NAPT translator. It is not safe for concurrent use; the
+// owning Click element serializes access.
+type Table struct {
+	cfg      Config
+	now      func() time.Duration
+	out      map[packet.Flow]*Binding // inside flow -> binding
+	back     map[uint16]*Binding      // external port -> binding
+	nextPort uint16
+}
+
+// New returns a translator. now supplies the current time for timeouts.
+func New(cfg Config, now func() time.Duration) *Table {
+	if cfg.PortLow == 0 {
+		cfg.PortLow = 1024
+	}
+	if cfg.PortHigh == 0 {
+		cfg.PortHigh = 65535
+	}
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &Table{
+		cfg:      cfg,
+		now:      now,
+		out:      make(map[packet.Flow]*Binding),
+		back:     make(map[uint16]*Binding),
+		nextPort: cfg.PortLow,
+	}
+}
+
+// Len reports the number of active bindings.
+func (t *Table) Len() int { return len(t.out) }
+
+func (t *Table) allocPort() (uint16, error) {
+	span := int(t.cfg.PortHigh) - int(t.cfg.PortLow) + 1
+	for i := 0; i < span; i++ {
+		p := t.nextPort
+		t.nextPort++
+		if t.nextPort > t.cfg.PortHigh || t.nextPort < t.cfg.PortLow {
+			t.nextPort = t.cfg.PortLow
+		}
+		if _, used := t.back[p]; !used {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("nat: port range %d-%d exhausted", t.cfg.PortLow, t.cfg.PortHigh)
+}
+
+// expire drops idle bindings.
+func (t *Table) expire() {
+	if t.cfg.Timeout == 0 {
+		return
+	}
+	now := t.now()
+	for f, b := range t.out {
+		if now-b.LastUsed > t.cfg.Timeout {
+			delete(t.out, f)
+			delete(t.back, b.External)
+		}
+	}
+}
+
+// Outbound translates a datagram leaving the overlay in place-ish: it
+// returns a new serialized datagram with source address/port rewritten,
+// creating a binding if needed.
+func (t *Table) Outbound(dgram []byte) ([]byte, error) {
+	t.expire()
+	flow, ok := packet.FlowOf(dgram)
+	if !ok {
+		return nil, fmt.Errorf("nat: cannot extract flow")
+	}
+	b := t.out[flow]
+	if b == nil {
+		port, err := t.allocPort()
+		if err != nil {
+			return nil, err
+		}
+		b = &Binding{Inside: flow, External: port}
+		t.out[flow] = b
+		t.back[port] = b
+	}
+	b.LastUsed = t.now()
+	return rewrite(dgram, true, t.cfg.External, b.External)
+}
+
+// Inbound translates a datagram returning from the external Internet. It
+// returns the datagram rewritten back to the inside flow, or ok=false if
+// no binding matches (the packet is not ours; Click drops it).
+func (t *Table) Inbound(dgram []byte) ([]byte, bool, error) {
+	t.expire()
+	flow, ok := packet.FlowOf(dgram)
+	if !ok {
+		return nil, false, fmt.Errorf("nat: cannot extract flow")
+	}
+	// For return traffic the external port is the destination port,
+	// except ICMP echo replies where it is the echo ID (in SrcPort).
+	key := flow.DstPort
+	if flow.Proto == packet.ProtoICMP {
+		key = flow.SrcPort
+	}
+	b := t.back[key]
+	if b == nil || flow.Src != b.Inside.Dst {
+		return nil, false, nil
+	}
+	b.LastUsed = t.now()
+	out, err := rewriteBack(dgram, b.Inside)
+	return out, err == nil, err
+}
+
+// Bindings returns a snapshot of active sessions, for diagnostics.
+func (t *Table) Bindings() []Binding {
+	out := make([]Binding, 0, len(t.out))
+	for _, b := range t.out {
+		out = append(out, *b)
+	}
+	return out
+}
+
+// rewrite changes the source (outbound=true) address and port of dgram,
+// re-serializing with correct checksums.
+func rewrite(dgram []byte, _ bool, newAddr netip.Addr, newPort uint16) ([]byte, error) {
+	var ip packet.IPv4
+	payload, err := ip.Parse(dgram)
+	if err != nil {
+		return nil, err
+	}
+	ip.Src = newAddr
+	return reserialize(ip, payload, func(proto uint8, seg []byte) {
+		switch proto {
+		case packet.ProtoUDP, packet.ProtoTCP:
+			binary.BigEndian.PutUint16(seg[0:2], newPort)
+		case packet.ProtoICMP:
+			binary.BigEndian.PutUint16(seg[4:6], newPort)
+		}
+	})
+}
+
+// rewriteBack restores the inside destination on a return packet.
+func rewriteBack(dgram []byte, inside packet.Flow) ([]byte, error) {
+	var ip packet.IPv4
+	payload, err := ip.Parse(dgram)
+	if err != nil {
+		return nil, err
+	}
+	ip.Dst = inside.Src
+	return reserialize(ip, payload, func(proto uint8, seg []byte) {
+		switch proto {
+		case packet.ProtoUDP, packet.ProtoTCP:
+			binary.BigEndian.PutUint16(seg[2:4], inside.SrcPort)
+		case packet.ProtoICMP:
+			binary.BigEndian.PutUint16(seg[4:6], inside.SrcPort)
+		}
+	})
+}
+
+// reserialize rebuilds the datagram after mutate edits the transport
+// header, recomputing transport and IP checksums.
+func reserialize(ip packet.IPv4, payload []byte, mutate func(proto uint8, seg []byte)) ([]byte, error) {
+	seg := append([]byte(nil), payload...)
+	mutate(ip.Proto, seg)
+	switch ip.Proto {
+	case packet.ProtoUDP:
+		if len(seg) >= packet.UDPHeaderLen {
+			var u packet.UDP
+			if _, err := u.Parse(seg); err != nil {
+				return nil, err
+			}
+			u.SrcPort = binary.BigEndian.Uint16(seg[0:2])
+			u.DstPort = binary.BigEndian.Uint16(seg[2:4])
+			seg = u.Marshal(ip.Src, ip.Dst, seg[packet.UDPHeaderLen:])
+		}
+	case packet.ProtoTCP:
+		if len(seg) >= packet.TCPHeaderLen {
+			var th packet.TCP
+			body, err := th.Parse(seg)
+			if err != nil {
+				return nil, err
+			}
+			th.SrcPort = binary.BigEndian.Uint16(seg[0:2])
+			th.DstPort = binary.BigEndian.Uint16(seg[2:4])
+			seg = th.Marshal(ip.Src, ip.Dst, body)
+		}
+	case packet.ProtoICMP:
+		if len(seg) >= packet.ICMPHeaderLen {
+			// Parse the pre-mutation bytes (ICMP.Parse verifies the
+			// checksum, which the mutation has already invalidated in
+			// seg), then adopt the rewritten ID and re-marshal.
+			var ic packet.ICMP
+			body, err := ic.Parse(payload)
+			if err != nil {
+				return nil, err
+			}
+			ic.ID = binary.BigEndian.Uint16(seg[4:6])
+			seg = ic.Marshal(body)
+		}
+	}
+	hdr := packet.IPv4{TOS: ip.TOS, ID: ip.ID, Flags: ip.Flags, FragOff: ip.FragOff,
+		TTL: ip.TTL, Proto: ip.Proto, Src: ip.Src, Dst: ip.Dst}
+	return hdr.Marshal(seg), nil
+}

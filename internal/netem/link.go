@@ -1,0 +1,118 @@
+package netem
+
+import (
+	"time"
+
+	"vini/internal/packet"
+)
+
+// LinkConfig describes one physical link.
+type LinkConfig struct {
+	A, B string
+	// Bandwidth in bits per second.
+	Bandwidth float64
+	// Delay is one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per packet,
+	// modelling the residual variability real paths show (the paper's
+	// native Abilene ping mdev of 0.2 ms).
+	Jitter time.Duration
+	// QueueBytes bounds the transmit queue in each direction (default
+	// 256 KiB, a typical router interface buffer).
+	QueueBytes int
+}
+
+// Link is an instantiated bidirectional link. Each direction has its own
+// transmitter state.
+type Link struct {
+	cfg  LinkConfig
+	net  *Network
+	a, b *Node
+	down bool
+	dir  [2]*linkDir // 0: a->b, 1: b->a
+}
+
+type linkDir struct {
+	link *Link
+	// busyUntil is when the transmitter finishes the current queue.
+	busyUntil time.Duration
+	// queued tracks bytes committed but not yet serialized.
+	queued int
+	// Drops counts queue-overflow losses.
+	Drops uint64
+	// Packets and Bytes count transmissions.
+	Packets, Bytes uint64
+	// lastArrival keeps delivery FIFO under per-packet jitter: a link is
+	// a pipe, so a later packet never overtakes an earlier one.
+	lastArrival time.Duration
+}
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Down reports the failure state.
+func (l *Link) Down() bool { return l.down }
+
+// SetDown fails or restores the physical link. In-flight packets are not
+// recalled (they were already on the wire).
+func (l *Link) SetDown(v bool) { l.down = v }
+
+// Stats returns per-direction counters (0: A->B, 1: B->A).
+func (l *Link) Stats(dir int) (packets, bytes, drops uint64) {
+	d := l.dir[dir]
+	return d.Packets, d.Bytes, d.Drops
+}
+
+// transmit sends p from node src across the link. It models a FIFO
+// drop-tail queue ahead of a fixed-rate serializer plus propagation
+// delay, then hands the packet to the far node's receive path.
+func (l *Link) transmit(src *Node, p *packet.Packet) {
+	if l.down {
+		return
+	}
+	var d *linkDir
+	var dst *Node
+	switch src {
+	case l.a:
+		d, dst = l.dir[0], l.b
+	case l.b:
+		d, dst = l.dir[1], l.a
+	default:
+		panic("netem: transmit from node not on link")
+	}
+	loop := l.net.loop
+	now := loop.Now()
+	if d.busyUntil < now {
+		d.busyUntil = now
+		d.queued = 0
+	}
+	if d.queued+p.Len() > l.cfg.QueueBytes {
+		d.Drops++
+		return
+	}
+	d.queued += p.Len()
+	wire := time.Duration(float64(p.Len()*8) / l.cfg.Bandwidth * float64(time.Second))
+	d.busyUntil += wire
+	d.Packets++
+	d.Bytes += uint64(p.Len())
+	delay := l.cfg.Delay
+	if l.cfg.Jitter > 0 {
+		delay += time.Duration(l.net.rng.Float64() * float64(l.cfg.Jitter))
+	}
+	arrival := d.busyUntil + delay
+	if arrival < d.lastArrival {
+		arrival = d.lastArrival
+	}
+	d.lastArrival = arrival
+	size := p.Len()
+	loop.Schedule(arrival-now, func() {
+		d.queued -= size
+		if d.queued < 0 {
+			d.queued = 0
+		}
+		if l.down {
+			return // failed while in flight
+		}
+		dst.receive(p, l)
+	})
+}

@@ -1,0 +1,214 @@
+// Package netem is the physical substrate simulator: hosts with
+// calibrated CPU cost models (profile.go), links with bandwidth,
+// propagation delay, and drop-tail queues, kernel IP forwarding, and
+// user-space processes scheduled by internal/sched. It stands in for the
+// paper's DETER testbed and PlanetLab deployment (see DESIGN.md,
+// substitution 1 and 2).
+package netem
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"vini/internal/fib"
+	"vini/internal/sched"
+	"vini/internal/sim"
+	"vini/internal/topology"
+)
+
+// Network is a set of nodes and links on a shared event loop.
+type Network struct {
+	loop  *sim.Loop
+	rng   *sim.RNG
+	nodes map[string]*Node
+	order []string
+	links []*Link
+	// alarms receive physical-topology-change upcalls (Section 3.1's
+	// "exposure of underlying topology changes").
+	alarms []func(ev LinkEvent)
+}
+
+// LinkEvent reports a physical link transition for upcalls to slices.
+type LinkEvent struct {
+	A, B string
+	Down bool
+	At   time.Duration
+}
+
+// New creates an empty network on loop.
+func New(loop *sim.Loop) *Network {
+	return &Network{
+		loop:  loop,
+		rng:   loop.RNG().Fork(),
+		nodes: make(map[string]*Node),
+	}
+}
+
+// Loop returns the event loop.
+func (w *Network) Loop() *sim.Loop { return w.loop }
+
+// AddNode creates a node with the given primary address and host profile.
+func (w *Network) AddNode(name string, addr netip.Addr, prof Profile, schedOpt sched.Options) (*Node, error) {
+	if _, dup := w.nodes[name]; dup {
+		return nil, fmt.Errorf("netem: duplicate node %q", name)
+	}
+	n := &Node{
+		name:     name,
+		net:      w,
+		prof:     prof,
+		addr:     addr,
+		addrs:    map[netip.Addr]bool{addr: true},
+		routes:   fib.New(),
+		CPU:      sched.New(w.loop, schedOpt),
+		udpPorts: make(map[uint16]*Socket),
+		stackUDP: make(map[uint16]StackHandler),
+		stackTCP: make(map[uint16]StackHandler),
+	}
+	w.nodes[name] = n
+	w.order = append(w.order, name)
+	return n, nil
+}
+
+// Node returns a node by name.
+func (w *Network) Node(name string) (*Node, bool) {
+	n, ok := w.nodes[name]
+	return n, ok
+}
+
+// MustNode returns a node or panics; for experiment setup code.
+func (w *Network) MustNode(name string) *Node {
+	n, ok := w.nodes[name]
+	if !ok {
+		panic("netem: unknown node " + name)
+	}
+	return n
+}
+
+// Nodes returns node names in creation order.
+func (w *Network) Nodes() []string { return append([]string(nil), w.order...) }
+
+// AddLink connects two nodes.
+func (w *Network) AddLink(cfg LinkConfig) (*Link, error) {
+	a, ok := w.nodes[cfg.A]
+	if !ok {
+		return nil, fmt.Errorf("netem: unknown node %q", cfg.A)
+	}
+	b, ok := w.nodes[cfg.B]
+	if !ok {
+		return nil, fmt.Errorf("netem: unknown node %q", cfg.B)
+	}
+	if cfg.Bandwidth <= 0 {
+		return nil, fmt.Errorf("netem: link %s-%s needs positive bandwidth", cfg.A, cfg.B)
+	}
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = 256 << 10
+	}
+	l := &Link{cfg: cfg, net: w, a: a, b: b}
+	l.dir[0] = &linkDir{link: l}
+	l.dir[1] = &linkDir{link: l}
+	a.links = append(a.links, l)
+	b.links = append(b.links, l)
+	w.links = append(w.links, l)
+	return l, nil
+}
+
+// FindLink locates the link between two nodes.
+func (w *Network) FindLink(a, b string) (*Link, bool) {
+	for _, l := range w.links {
+		if (l.a.name == a && l.b.name == b) || (l.a.name == b && l.b.name == a) {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// OnLinkEvent registers an upcall for physical topology changes.
+func (w *Network) OnLinkEvent(fn func(ev LinkEvent)) {
+	w.alarms = append(w.alarms, fn)
+}
+
+// FailLink takes the physical link down, notifies upcall subscribers,
+// and (after igpDelay, modelling the substrate IGP) reroutes the
+// underlying network around it — the automatic masking that Section 6.1
+// notes VINI experiments must be able to see through.
+func (w *Network) FailLink(a, b string, igpDelay time.Duration) error {
+	return w.setLink(a, b, true, igpDelay)
+}
+
+// RestoreLink brings the link back and reconverges the substrate.
+func (w *Network) RestoreLink(a, b string, igpDelay time.Duration) error {
+	return w.setLink(a, b, false, igpDelay)
+}
+
+func (w *Network) setLink(a, b string, down bool, igpDelay time.Duration) error {
+	l, ok := w.FindLink(a, b)
+	if !ok {
+		return fmt.Errorf("netem: no link %s-%s", a, b)
+	}
+	l.SetDown(down)
+	ev := LinkEvent{A: a, B: b, Down: down, At: w.loop.Now()}
+	for _, fn := range w.alarms {
+		fn(ev)
+	}
+	if igpDelay >= 0 {
+		w.loop.Schedule(igpDelay, func() { w.ComputeRoutes() })
+	}
+	return nil
+}
+
+// ComputeRoutes fills every node's kernel routing table with shortest
+// paths over the current physical topology (hop count metric, delay as
+// tie-break via cost scaling). Host routes are installed for every node
+// address (/32), modelling the substrate's IGP.
+func (w *Network) ComputeRoutes() {
+	g := topology.New()
+	down := map[int]bool{}
+	for i, l := range w.links {
+		g.AddLink(topology.Link{
+			A: l.a.name, B: l.b.name,
+			CostAB: uint32(l.cfg.Delay/time.Microsecond) + 1,
+			Delay:  l.cfg.Delay,
+		})
+		if l.down {
+			down[i] = true
+		}
+	}
+	for _, name := range w.order {
+		n := w.nodes[name]
+		paths := g.ShortestPaths(name, down)
+		var routes []fib.Route
+		for dst, p := range paths {
+			if dst == name || len(p.Hops) < 2 {
+				continue
+			}
+			next := p.Hops[1]
+			port := -1
+			for i, l := range n.links {
+				if l.down {
+					continue
+				}
+				if (l.a == n && l.b.name == next) || (l.b == n && l.a.name == next) {
+					port = i
+					break
+				}
+			}
+			if port < 0 {
+				continue
+			}
+			dn := w.nodes[dst]
+			for a := range dn.addrs {
+				routes = append(routes, fib.Route{
+					Prefix:  netip.PrefixFrom(a, 32),
+					OutPort: port,
+					Metric:  p.Cost,
+					Owner:   "igp",
+				})
+			}
+		}
+		n.routes.Replace("igp", routes)
+	}
+}
+
+// Run advances the simulation until the given virtual time.
+func (w *Network) Run(until time.Duration) { w.loop.Run(until) }

@@ -1,0 +1,297 @@
+package netem
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"vini/internal/fib"
+	"vini/internal/packet"
+	"vini/internal/sched"
+)
+
+// Node is one physical host: a kernel stack (addresses, route table,
+// local sockets, tap devices) plus a CPU on which user-space processes
+// (the Click forwarders of each slice) are scheduled.
+type Node struct {
+	name string
+	net  *Network
+	prof Profile
+	// addr is the node's primary (public) address.
+	addr netip.Addr
+	// addrs is the set of local addresses (primary + aliases).
+	addrs map[netip.Addr]bool
+	// routes is the kernel routing table of the underlying network.
+	routes *fib.Table
+	// links are attached physical links, by slot.
+	links []*Link
+	// CPU schedules this node's user processes.
+	CPU *sched.CPU
+	// procs are the registered user-space processes.
+	procs []*Process
+	// udpPorts demultiplexes local UDP delivery to process sockets.
+	udpPorts map[uint16]*Socket
+	// stackUDP are kernel-resident UDP listeners (measurement apps).
+	stackUDP map[uint16]StackHandler
+	// stackTCP are kernel-resident TCP segment consumers by local port.
+	stackTCP map[uint16]StackHandler
+	// icmpTap observes ICMP delivered locally (ping apps).
+	icmpTap StackHandler
+	// taps route kernel packets matching a prefix into a process (the
+	// PL-VINI tap0 device: everything under 10.0.0.0/8).
+	taps []tapRoute
+	// portRanges capture local UDP/TCP delivery for NAT return traffic.
+	portRanges []portRange
+	// kernelUsed accounts kernel CPU for the utilization columns.
+	kernelUsed   time.Duration
+	kernAcctFrom time.Duration
+	// Drops counts packets dropped for lack of any local consumer/route.
+	Drops uint64
+}
+
+// StackHandler receives a full IP datagram delivered by the kernel.
+type StackHandler func(dgram []byte)
+
+type tapRoute struct {
+	prefix netip.Prefix
+	sock   *Socket
+}
+
+type portRange struct {
+	lo, hi uint16
+	sock   *Socket
+}
+
+func (n *Node) rangeSocket(port uint16) *Socket {
+	for _, r := range n.portRanges {
+		if port >= r.lo && port <= r.hi {
+			return r.sock
+		}
+	}
+	return nil
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Addr returns the node's primary address.
+func (n *Node) Addr() netip.Addr { return n.addr }
+
+// Profile returns the node's host cost model.
+func (n *Node) Profile() Profile { return n.prof }
+
+// Routes exposes the kernel routing table (the "underlying IP network").
+func (n *Node) Routes() *fib.Table { return n.routes }
+
+// AddAddr adds a local alias address.
+func (n *Node) AddAddr(a netip.Addr) { n.addrs[a] = true }
+
+// HasAddr reports whether a is local to this node.
+func (n *Node) HasAddr(a netip.Addr) bool { return n.addrs[a] }
+
+// StackListenUDP registers a kernel-resident UDP listener (zero CPU
+// contention; used by measurement endpoints). It returns an error if the
+// port is taken by a process socket or another listener.
+func (n *Node) StackListenUDP(port uint16, h StackHandler) error {
+	if _, busy := n.udpPorts[port]; busy {
+		return fmt.Errorf("netem: %s UDP port %d bound by a process", n.name, port)
+	}
+	if _, busy := n.stackUDP[port]; busy {
+		return fmt.Errorf("netem: %s UDP port %d already listened", n.name, port)
+	}
+	n.stackUDP[port] = h
+	return nil
+}
+
+// StackListenICMP registers the local ICMP consumer.
+func (n *Node) StackListenICMP(h StackHandler) { n.icmpTap = h }
+
+// StackListenTCP registers a kernel-resident TCP endpoint on port. The
+// handler receives whole IP datagrams; internal/tcpm implements the
+// protocol machine above it.
+func (n *Node) StackListenTCP(port uint16, h StackHandler) error {
+	if _, busy := n.stackTCP[port]; busy {
+		return fmt.Errorf("netem: %s TCP port %d already listened", n.name, port)
+	}
+	n.stackTCP[port] = h
+	return nil
+}
+
+// InjectLocal delivers a datagram to this node's local consumers as if it
+// had arrived addressed to the node — the path Click's ToTap element uses
+// to hand overlay packets back to applications.
+func (n *Node) InjectLocal(dgram []byte) {
+	var ip packet.IPv4
+	if _, err := ip.Parse(dgram); err != nil {
+		n.Drops++
+		return
+	}
+	n.deliverLocal(ip, packet.New(dgram))
+}
+
+// AddTapRoute directs kernel packets for prefix into sock's process —
+// the modified TUN/TAP driver of Section 4.1.3 (each slice sees its own
+// tap0; the kernel routes 10.0.0.0/8 there).
+func (n *Node) AddTapRoute(prefix netip.Prefix, sock *Socket) {
+	n.taps = append(n.taps, tapRoute{prefix: prefix, sock: sock})
+}
+
+// kernelCharge accounts d of kernel CPU time.
+func (n *Node) kernelCharge(d time.Duration) { n.kernelUsed += d }
+
+// KernelUtilization reports the kernel CPU fraction since the last reset.
+func (n *Node) KernelUtilization() float64 {
+	elapsed := n.net.loop.Now() - n.kernAcctFrom
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n.kernelUsed) / float64(elapsed)
+}
+
+// ResetAccounting clears CPU accounting on the node and its processes.
+func (n *Node) ResetAccounting() {
+	n.kernelUsed = 0
+	n.kernAcctFrom = n.net.loop.Now()
+	n.CPU.ResetAccounting()
+	for _, p := range n.procs {
+		for _, s := range p.socks {
+			s.Drops = 0
+		}
+	}
+}
+
+// StackSend transmits dgram from this node's kernel: tap routes first
+// (the 10/8 route to tap0), then local delivery, then kernel forwarding.
+func (n *Node) StackSend(dgram []byte) {
+	n.kernelCharge(n.prof.scaled(n.prof.StackCost))
+	p := packet.New(dgram)
+	p.Anno.Timestamp = n.net.loop.Now()
+	n.route(p, true)
+}
+
+// receive handles a packet arriving from a link.
+func (n *Node) receive(p *packet.Packet, from *Link) {
+	n.route(p, false)
+}
+
+// route is the kernel path: tap prefixes, local delivery, or forwarding.
+func (n *Node) route(p *packet.Packet, fromLocal bool) {
+	var ip packet.IPv4
+	if _, err := ip.Parse(p.Data); err != nil {
+		n.Drops++
+		return
+	}
+	// Tap routes shadow real routes for locally originated traffic and
+	// for arriving packets not addressed to this node.
+	if fromLocal || !n.addrs[ip.Dst] {
+		for _, t := range n.taps {
+			if t.prefix.Contains(ip.Dst) {
+				t.sock.enqueue(p)
+				return
+			}
+		}
+	}
+	if n.addrs[ip.Dst] {
+		n.deliverLocal(ip, p)
+		return
+	}
+	// Kernel IP forwarding on the underlying network. Locally originated
+	// packets are sent, not forwarded: no TTL decrement at the origin.
+	r, ok := n.routes.Lookup(ip.Dst)
+	if !ok {
+		n.Drops++
+		return
+	}
+	if !fromLocal {
+		if ip.TTL <= 1 {
+			// Answer ICMP time exceeded from this router's address, so
+			// traceroute works across the substrate too.
+			n.Drops++
+			if ip.Proto != packet.ProtoICMP {
+				if reply := packet.BuildICMPError(n.addr, packet.ICMPTimeExceeded, 0, p.Data); reply != nil {
+					n.send(reply)
+				}
+			}
+			return
+		}
+		packet.SetTTL(p.Data, ip.TTL-1)
+		n.kernelCharge(n.prof.scaled(n.prof.KernelForwardCost))
+	}
+	n.forwardOut(r, p)
+}
+
+// forwardOut puts the packet on the outgoing link after the kernel
+// forwarding latency.
+func (n *Node) forwardOut(r fib.Route, p *packet.Packet) {
+	if r.OutPort < 0 || r.OutPort >= len(n.links) {
+		n.Drops++
+		return
+	}
+	link := n.links[r.OutPort]
+	cost := n.prof.scaled(n.prof.KernelForwardCost)
+	n.net.loop.Schedule(cost, func() { link.transmit(n, p) })
+}
+
+// deliverLocal hands a packet addressed to this node to its consumer.
+func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
+	n.kernelCharge(n.prof.scaled(n.prof.StackCost))
+	switch ip.Proto {
+	case packet.ProtoUDP:
+		var u packet.UDP
+		payload := p.Data[ip.HeaderLen:]
+		if _, err := u.Parse(payload); err != nil {
+			n.Drops++
+			return
+		}
+		if s, ok := n.udpPorts[u.DstPort]; ok {
+			s.enqueue(p)
+			return
+		}
+		if h, ok := n.stackUDP[u.DstPort]; ok {
+			h(p.Data)
+			return
+		}
+		if s := n.rangeSocket(u.DstPort); s != nil {
+			s.enqueue(p)
+			return
+		}
+		// No listener: answer ICMP port unreachable, as the kernel does
+		// (traceroute's termination signal).
+		n.Drops++
+		if reply := packet.BuildICMPError(ip.Dst, packet.ICMPUnreachable, 3, p.Data); reply != nil {
+			n.send(reply)
+		}
+	case packet.ProtoTCP:
+		var th packet.TCP
+		payload := p.Data[ip.HeaderLen:]
+		if _, err := th.Parse(payload); err != nil {
+			n.Drops++
+			return
+		}
+		if h, ok := n.stackTCP[th.DstPort]; ok {
+			h(p.Data)
+			return
+		}
+		if s := n.rangeSocket(th.DstPort); s != nil {
+			s.enqueue(p)
+			return
+		}
+		n.Drops++
+	case packet.ProtoICMP:
+		if n.icmpTap != nil {
+			n.icmpTap(p.Data)
+			return
+		}
+		n.Drops++
+	default:
+		n.Drops++
+	}
+}
+
+// send transmits a fully-formed IP datagram from this node, used by both
+// kernel apps and processes after their CPU cost is charged.
+func (n *Node) send(dgram []byte) {
+	p := packet.New(dgram)
+	p.Anno.Timestamp = n.net.loop.Now()
+	n.route(p, true)
+}

@@ -1,0 +1,177 @@
+package netem
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"vini/internal/packet"
+	"vini/internal/sched"
+)
+
+// Process is a user-space program (a slice's Click forwarder, an OpenVPN
+// server) running on a node under the CPU scheduler. Packets destined to
+// its sockets queue in per-socket receive buffers; the process's task is
+// woken and, when the scheduler runs it, drains the buffers paying the
+// profile's per-packet cost — the paper's poll/recvfrom/sendto/
+// gettimeofday budget. The gap between wake and run is the scheduling
+// latency whose tail overflows buffers in Figure 6(a).
+type Process struct {
+	Name string
+	node *Node
+	task *sched.Task
+	// socks in creation order, drained round-robin.
+	socks []*Socket
+	// handler consumes one packet when the process runs.
+	pending int
+}
+
+// Socket is a UDP socket bound by a process.
+type Socket struct {
+	proc    *Process
+	port    uint16
+	handler func(p *packet.Packet)
+	buf     []*packet.Packet
+	bufB    int
+	// Drops counts receive-buffer overflows (the Figure 6(a) metric).
+	Drops uint64
+	// Received counts accepted packets.
+	Received uint64
+}
+
+// ProcessConfig configures scheduling for a process.
+type ProcessConfig struct {
+	Name string
+	// RT and Share map to the PL-VINI knobs: real-time priority and CPU
+	// reservation (Share also models the default fair share).
+	RT    bool
+	Share float64
+	// Strict selects the non-work-conserving allocation of §6.2: the
+	// process gets exactly its share, never idle surplus.
+	Strict bool
+}
+
+// NewProcess registers a process on the node.
+func (n *Node) NewProcess(cfg ProcessConfig) *Process {
+	p := &Process{Name: cfg.Name, node: n}
+	p.task = n.CPU.NewTask(sched.TaskConfig{
+		Name:   cfg.Name,
+		RT:     cfg.RT,
+		Share:  cfg.Share,
+		Strict: cfg.Strict,
+		Work:   p.work,
+	})
+	n.procs = append(n.procs, p)
+	return p
+}
+
+// Task exposes the scheduler task (for wake-latency statistics).
+func (p *Process) Task() *sched.Task { return p.task }
+
+// Node returns the hosting node.
+func (p *Process) Node() *Node { return p.node }
+
+// OpenUDP binds port and registers handler, called in process context
+// (i.e. after scheduling) for each received packet.
+func (p *Process) OpenUDP(port uint16, handler func(pkt *packet.Packet)) (*Socket, error) {
+	n := p.node
+	if _, busy := n.udpPorts[port]; busy {
+		return nil, fmt.Errorf("netem: %s UDP port %d already bound", n.name, port)
+	}
+	if _, busy := n.stackUDP[port]; busy {
+		return nil, fmt.Errorf("netem: %s UDP port %d already listened", n.name, port)
+	}
+	s := &Socket{proc: p, port: port, handler: handler}
+	n.udpPorts[port] = s
+	p.socks = append(p.socks, s)
+	return s, nil
+}
+
+// OpenPortRange binds a contiguous UDP/TCP port span to the process, the
+// capture an egress node needs so NAT return traffic from external hosts
+// re-enters the slice's Click forwarder (Section 4.2.3).
+func (p *Process) OpenPortRange(lo, hi uint16, handler func(pkt *packet.Packet)) (*Socket, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("netem: bad port range %d-%d", lo, hi)
+	}
+	s := &Socket{proc: p, handler: handler}
+	p.socks = append(p.socks, s)
+	p.node.portRanges = append(p.node.portRanges, portRange{lo: lo, hi: hi, sock: s})
+	return s, nil
+}
+
+// OpenTap creates the slice's tap0 device: a socket that receives the
+// kernel packets matching prefix (10.0.0.0/8 in PL-VINI).
+func (p *Process) OpenTap(prefix netip.Prefix, handler func(pkt *packet.Packet)) *Socket {
+	s := &Socket{proc: p, handler: handler}
+	p.socks = append(p.socks, s)
+	p.node.AddTapRoute(prefix, s)
+	return s
+}
+
+// enqueue adds a packet to the socket buffer, waking the process; tail
+// drops when the receive buffer is full.
+func (s *Socket) enqueue(p *packet.Packet) {
+	prof := s.proc.node.prof
+	if s.bufB+p.Len() > prof.SocketBuf {
+		s.Drops++
+		return
+	}
+	s.buf = append(s.buf, p)
+	s.bufB += p.Len()
+	s.proc.pending++
+	s.Received++
+	s.proc.task.Wake()
+}
+
+// SendUDP transmits payload from the process's port to dst — Click's
+// sendto on a tunnel socket. The CPU cost was charged when the packet
+// that triggered this send was processed.
+func (p *Process) SendUDP(srcPort uint16, dst netip.AddrPort, payload []byte, ttl uint8) {
+	d := packet.BuildUDP(p.node.addr, dst.Addr(), srcPort, dst.Port(), ttl, payload)
+	p.node.send(d)
+}
+
+// SendIP transmits a raw IP datagram from this process (tap0 writes).
+func (p *Process) SendIP(dgram []byte) {
+	p.node.send(dgram)
+}
+
+// work is the scheduler WorkFunc: it consumes the CPU cost of the oldest
+// buffered packet and delivers it to the handler when that cost has
+// elapsed, so per-packet processing time appears as forwarding latency
+// (the +130 µs the paper's Table 3 measures) and not just as CPU load.
+func (p *Process) work(budget time.Duration) (time.Duration, bool) {
+	s := p.nextReady()
+	if s == nil {
+		p.pending = 0
+		return 0, false
+	}
+	pkt := s.buf[0]
+	cost := p.node.prof.UserPacketCost(pkt.Len())
+	if cost > budget {
+		cost = budget // a grain is the scheduler's accounting floor
+	}
+	s.buf = s.buf[1:]
+	s.bufB -= pkt.Len()
+	p.pending--
+	p.node.net.loop.Schedule(cost, func() { s.handler(pkt) })
+	return cost, p.pending > 0
+}
+
+// nextReady returns the socket with the oldest waiting packet, so service
+// order matches arrival order across sockets (what poll gives Click).
+func (p *Process) nextReady() *Socket {
+	var best *Socket
+	var bestT time.Duration
+	for _, s := range p.socks {
+		if len(s.buf) == 0 {
+			continue
+		}
+		t := s.buf[0].Anno.Timestamp
+		if best == nil || t < bestT {
+			best, bestT = s, t
+		}
+	}
+	return best
+}

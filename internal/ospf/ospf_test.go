@@ -1,0 +1,428 @@
+package ospf
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vini/internal/fib"
+	"vini/internal/sim"
+	"vini/internal/topology"
+)
+
+// mesh wires Routers together with delayed, failable point-to-point
+// pipes, standing in for the overlay tunnels.
+type mesh struct {
+	loop    *sim.Loop
+	routers map[string]*meshNode
+	loss    float64 // per-packet loss probability on every pipe
+}
+
+type meshNode struct {
+	m      *mesh
+	name   string
+	r      *Router
+	routes []fib.Route
+	pipes  map[int]*pipe // by local ifIndex
+}
+
+type pipe struct {
+	peer     *meshNode
+	peerIf   int
+	peerAddr netip.Addr
+	delay    time.Duration
+	down     *bool
+}
+
+func newMesh(loop *sim.Loop) *mesh {
+	return &mesh{loop: loop, routers: make(map[string]*meshNode)}
+}
+
+func (m *mesh) addRouter(name string, id uint32, cfg Config) *meshNode {
+	cfg.RouterID = id
+	n := &meshNode{m: m, name: name, pipes: make(map[int]*pipe)}
+	n.r = New(m.loop, cfg, n)
+	n.r.OnRoutes(func(rs []fib.Route) { n.routes = rs })
+	m.routers[name] = n
+	return n
+}
+
+// SendRouting implements Transport with the pipe's delay and failure.
+func (n *meshNode) SendRouting(ifIndex int, payload []byte) {
+	p, ok := n.pipes[ifIndex]
+	if !ok {
+		return
+	}
+	if n.m.loss > 0 && n.m.loop.RNG().Bool(n.m.loss) {
+		return
+	}
+	buf := append([]byte(nil), payload...)
+	src := localAddr(n, ifIndex)
+	n.m.loop.Schedule(p.delay, func() {
+		if *p.down {
+			return
+		}
+		p.peer.r.Receive(p.peerIf, src, buf)
+	})
+}
+
+func localAddr(n *meshNode, ifIndex int) netip.Addr {
+	for _, ifc := range n.r.ifaces {
+		if ifc.Index == ifIndex {
+			return ifc.Addr
+		}
+	}
+	return netip.Addr{}
+}
+
+var subnetCounter int
+
+// connect links two routers with a fresh /30 and the given cost/delay.
+// It returns a pointer to the link's failure flag.
+func (m *mesh) connect(a, b *meshNode, cost uint32, delay time.Duration) *bool {
+	subnetCounter++
+	base := netip.MustParseAddr("10.1.0.0").As4()
+	base[2] = byte(subnetCounter >> 6)
+	base[3] = byte(subnetCounter << 2 & 0xff)
+	addrA := netip.AddrFrom4([4]byte{base[0], base[1], base[2], base[3] + 1})
+	addrB := netip.AddrFrom4([4]byte{base[0], base[1], base[2], base[3] + 2})
+	prefix := netip.PrefixFrom(netip.AddrFrom4(base), 30)
+	ifA := len(a.pipes)
+	ifB := len(b.pipes)
+	a.r.AddInterface(Interface{Name: fmt.Sprintf("%s-%s", a.name, b.name), Index: ifA, Addr: addrA, Prefix: prefix, Cost: cost})
+	b.r.AddInterface(Interface{Name: fmt.Sprintf("%s-%s", b.name, a.name), Index: ifB, Addr: addrB, Prefix: prefix, Cost: cost})
+	down := new(bool)
+	a.pipes[ifA] = &pipe{peer: b, peerIf: ifB, peerAddr: addrB, delay: delay, down: down}
+	b.pipes[ifB] = &pipe{peer: a, peerIf: ifA, peerAddr: addrA, delay: delay, down: down}
+	return down
+}
+
+func (m *mesh) startAll() {
+	for _, n := range m.routers {
+		n.r.Start()
+	}
+}
+
+// routeTo finds n's route for the given prefix.
+func (n *meshNode) routeTo(prefix string) (fib.Route, bool) {
+	p := netip.MustParsePrefix(prefix)
+	for _, r := range n.routes {
+		if r.Prefix == p {
+			return r, true
+		}
+	}
+	return fib.Route{}, false
+}
+
+func stub(p string) StubDesc { return StubDesc{Prefix: netip.MustParsePrefix(p), Cost: 0} }
+
+func fastCfg(stubs ...StubDesc) Config {
+	return Config{Hello: time.Second, Dead: 3 * time.Second,
+		Rxmt: 500 * time.Millisecond, SPFDelay: 50 * time.Millisecond, Stubs: stubs}
+}
+
+func TestWireRoundTrips(t *testing.T) {
+	h := Hello{HelloInterval: 5, DeadInterval: 10, Neighbors: []uint32{7, 9}}
+	pkt := MarshalHello(42, h)
+	hdr, body, err := ParseHeader(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Type != TypeHello || hdr.RouterID != 42 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	h2, err := ParseHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2.Neighbors) != 2 || h2.Neighbors[0] != 7 || h2.DeadInterval != 10 {
+		t.Fatalf("hello = %+v", h2)
+	}
+
+	lsa := LSA{Origin: 1, Seq: 3,
+		Links: []LinkDesc{{NeighborID: 2, Cost: 100}},
+		Stubs: []StubDesc{{Prefix: netip.MustParsePrefix("10.0.0.1/32"), Cost: 0}}}
+	u := LSU{LSAs: []LSA{lsa}}
+	pkt = MarshalLSU(1, u)
+	_, body, err = ParseHeader(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := ParseLSU(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u2.LSAs) != 1 || u2.LSAs[0].Origin != 1 || u2.LSAs[0].Links[0].Cost != 100 ||
+		u2.LSAs[0].Stubs[0].Prefix.String() != "10.0.0.1/32" {
+		t.Fatalf("lsu = %+v", u2)
+	}
+
+	a := LSAck{Keys: []Key{{Origin: 1, Seq: 3}}}
+	pkt = MarshalLSAck(2, a)
+	_, body, err = ParseHeader(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := ParseLSAck(body)
+	if err != nil || len(a2.Keys) != 1 || a2.Keys[0] != (Key{1, 3}) {
+		t.Fatalf("ack = %+v err=%v", a2, err)
+	}
+}
+
+func TestWireRejectsCorruption(t *testing.T) {
+	pkt := MarshalHello(42, Hello{HelloInterval: 5, DeadInterval: 10})
+	for i := range pkt {
+		bad := append([]byte(nil), pkt...)
+		bad[i] ^= 0x5a
+		if _, _, err := ParseHeader(bad); err == nil {
+			// Flipping the checksum field itself must also fail.
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+	if _, _, err := ParseHeader([]byte{2, 1}); err == nil {
+		t.Fatal("truncated packet accepted")
+	}
+}
+
+func TestWireFuzzNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		if h, body, err := ParseHeader(b); err == nil {
+			switch h.Type {
+			case TypeHello:
+				ParseHello(body)
+			case TypeLSU:
+				ParseLSU(body)
+			case TypeLSAck:
+				ParseLSAck(body)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoRoutersConverge(t *testing.T) {
+	loop := sim.NewLoop(1)
+	m := newMesh(loop)
+	a := m.addRouter("a", 1, fastCfg(stub("10.0.0.1/32")))
+	b := m.addRouter("b", 2, fastCfg(stub("10.0.0.2/32")))
+	m.connect(a, b, 10, time.Millisecond)
+	m.startAll()
+	loop.Run(10 * time.Second)
+	if nbs := a.r.Neighbors(); len(nbs) != 1 || nbs[0].State != "Full" {
+		t.Fatalf("a neighbors = %+v", nbs)
+	}
+	r, ok := a.routeTo("10.0.0.2/32")
+	if !ok {
+		t.Fatalf("a has no route to b's stub: %v", a.routes)
+	}
+	if r.Metric != 10 {
+		t.Fatalf("metric = %d, want 10", r.Metric)
+	}
+	if _, ok := b.routeTo("10.0.0.1/32"); !ok {
+		t.Fatal("b has no route to a's stub")
+	}
+}
+
+func TestLineOfThreeNextHops(t *testing.T) {
+	loop := sim.NewLoop(1)
+	m := newMesh(loop)
+	a := m.addRouter("a", 1, fastCfg(stub("10.0.0.1/32")))
+	b := m.addRouter("b", 2, fastCfg(stub("10.0.0.2/32")))
+	c := m.addRouter("c", 3, fastCfg(stub("10.0.0.3/32")))
+	m.connect(a, b, 5, time.Millisecond)
+	m.connect(b, c, 7, time.Millisecond)
+	m.startAll()
+	loop.Run(15 * time.Second)
+	r, ok := a.routeTo("10.0.0.3/32")
+	if !ok {
+		t.Fatalf("a cannot reach c: %v", a.routes)
+	}
+	if r.Metric != 12 {
+		t.Fatalf("a->c metric = %d, want 12", r.Metric)
+	}
+	// Next hop must be b's interface address on the a-b subnet.
+	nbs := a.r.Neighbors()
+	if r.NextHop != nbs[0].Addr {
+		t.Fatalf("next hop = %v, want %v", r.NextHop, nbs[0].Addr)
+	}
+}
+
+func TestFailureDetectionAndReroute(t *testing.T) {
+	loop := sim.NewLoop(1)
+	m := newMesh(loop)
+	a := m.addRouter("a", 1, fastCfg(stub("10.0.0.1/32")))
+	b := m.addRouter("b", 2, fastCfg(stub("10.0.0.2/32")))
+	c := m.addRouter("c", 3, fastCfg(stub("10.0.0.3/32")))
+	downAB := m.connect(a, b, 1, time.Millisecond)
+	m.connect(a, c, 10, time.Millisecond)
+	m.connect(c, b, 10, time.Millisecond)
+	m.startAll()
+	loop.Run(10 * time.Second)
+	r, _ := a.routeTo("10.0.0.2/32")
+	if r.Metric != 1 {
+		t.Fatalf("initial metric = %d, want 1 (direct)", r.Metric)
+	}
+	// Fail a-b. Within the dead interval plus SPF delay, a must reroute
+	// via c with metric 20.
+	*downAB = true
+	failAt := loop.Now()
+	loop.Run(failAt + 4*time.Second)
+	r, ok := a.routeTo("10.0.0.2/32")
+	if !ok {
+		t.Fatalf("no route after failure: %v", a.routes)
+	}
+	if r.Metric != 20 {
+		t.Fatalf("post-failure metric = %d, want 20 (via c)", r.Metric)
+	}
+	// Restore: routes revert to the direct path.
+	*downAB = false
+	loop.Run(loop.Now() + 6*time.Second)
+	r, _ = a.routeTo("10.0.0.2/32")
+	if r.Metric != 1 {
+		t.Fatalf("post-restore metric = %d, want 1", r.Metric)
+	}
+}
+
+func TestFloodingSurvivesLoss(t *testing.T) {
+	loop := sim.NewLoop(99)
+	m := newMesh(loop)
+	m.loss = 0.3 // drop 30% of all routing packets
+	a := m.addRouter("a", 1, fastCfg(stub("10.0.0.1/32")))
+	b := m.addRouter("b", 2, fastCfg(stub("10.0.0.2/32")))
+	c := m.addRouter("c", 3, fastCfg(stub("10.0.0.3/32")))
+	m.connect(a, b, 1, time.Millisecond)
+	m.connect(b, c, 1, time.Millisecond)
+	m.startAll()
+	loop.Run(60 * time.Second)
+	if _, ok := a.routeTo("10.0.0.3/32"); !ok {
+		t.Fatalf("retransmission did not deliver LSAs under loss: %v", a.routes)
+	}
+	if _, ok := c.routeTo("10.0.0.1/32"); !ok {
+		t.Fatal("reverse direction missing too")
+	}
+}
+
+// TestAbileneMatchesReference brings up OSPF on the full Abilene topology
+// with the paper's weights and checks that every router's OSPF metrics
+// equal the reference Dijkstra over the same graph.
+func TestAbileneMatchesReference(t *testing.T) {
+	loop := sim.NewLoop(1)
+	m := newMesh(loop)
+	g := topology.Abilene()
+	nodes := map[string]*meshNode{}
+	ids := map[string]uint32{}
+	for i, name := range g.Nodes() {
+		id := uint32(i + 1)
+		ids[name] = id
+		nodes[name] = m.addRouter(name, id, fastCfg(StubDesc{
+			Prefix: netip.PrefixFrom(AddrFromRouterID(0x0a000000+id), 32)}))
+	}
+	for _, l := range g.Links() {
+		m.connect(nodes[l.A], nodes[l.B], l.CostAB, l.Delay)
+	}
+	m.startAll()
+	loop.Run(30 * time.Second)
+	for _, src := range g.Nodes() {
+		ref := g.ShortestPaths(src, nil)
+		for _, dst := range g.Nodes() {
+			if dst == src {
+				continue
+			}
+			want := ref[dst].Cost
+			pfx := netip.PrefixFrom(AddrFromRouterID(0x0a000000+ids[dst]), 32)
+			var got fib.Route
+			found := false
+			for _, r := range nodes[src].routes {
+				if r.Prefix == pfx {
+					got, found = r, true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s has no route to %s", src, dst)
+			}
+			if got.Metric != want {
+				t.Fatalf("%s->%s metric = %d, want %d", src, dst, got.Metric, want)
+			}
+		}
+	}
+}
+
+func TestStopSilencesRouter(t *testing.T) {
+	loop := sim.NewLoop(1)
+	m := newMesh(loop)
+	a := m.addRouter("a", 1, fastCfg())
+	b := m.addRouter("b", 2, fastCfg(stub("10.0.0.2/32")))
+	m.connect(a, b, 1, time.Millisecond)
+	m.startAll()
+	loop.Run(10 * time.Second)
+	a.r.Stop()
+	// After b's dead interval, b should drop the adjacency.
+	loop.Run(loop.Now() + 5*time.Second)
+	if nbs := b.r.Neighbors(); len(nbs) != 0 {
+		t.Fatalf("b still has neighbors after a stopped: %+v", nbs)
+	}
+}
+
+func TestRouterIDAddrRoundTrip(t *testing.T) {
+	f := func(a, b, c, d byte) bool {
+		addr := netip.AddrFrom4([4]byte{a, b, c, d})
+		return AddrFromRouterID(RouterIDFromAddr(addr)) == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgingPurgesDeadRouterState: a router that vanishes without
+// withdrawing leaves its LSA behind; refresh keeps live state alive and
+// MaxAge sweeps the corpse out of everyone's database.
+func TestAgingPurgesDeadRouterState(t *testing.T) {
+	loop := sim.NewLoop(1)
+	m := newMesh(loop)
+	cfg := fastCfg(stub("10.0.0.1/32"))
+	cfg.Refresh = 10 * time.Second
+	cfg.MaxAge = 30 * time.Second
+	mk := func(name string, id uint32, st string) *meshNode {
+		c := cfg
+		c.Stubs = []StubDesc{stub(st)}
+		return m.addRouter(name, id, c)
+	}
+	a := mk("a", 1, "10.0.0.1/32")
+	b := mk("b", 2, "10.0.0.2/32")
+	c := mk("c", 3, "10.0.0.3/32")
+	m.connect(a, b, 1, time.Millisecond)
+	m.connect(b, c, 1, time.Millisecond)
+	m.startAll()
+	loop.Run(10 * time.Second)
+	if len(a.r.LSDB()) != 3 {
+		t.Fatalf("a LSDB = %d entries", len(a.r.LSDB()))
+	}
+	// c dies silently.
+	c.r.Stop()
+	// Refresh keeps a and b alive in each other's databases well past
+	// MaxAge; c's LSA ages out.
+	loop.Run(loop.Now() + 2*time.Minute)
+	db := a.r.LSDB()
+	for _, l := range db {
+		if l.Origin == 3 {
+			t.Fatalf("dead router's LSA survived aging: %+v", db)
+		}
+	}
+	found := map[uint32]bool{}
+	for _, l := range db {
+		found[l.Origin] = true
+	}
+	if !found[1] || !found[2] {
+		t.Fatalf("live LSAs aged out: %+v", db)
+	}
+	// And live routes still work.
+	if _, ok := a.routeTo("10.0.0.2/32"); !ok {
+		t.Fatal("live route lost")
+	}
+}

@@ -1,0 +1,283 @@
+// Package ospf implements the OSPF subset XORP provides to IIAS: hello
+// protocol with configurable hello/dead intervals, point-to-point
+// adjacencies, router-LSA origination, reliable flooding with
+// acknowledgements and retransmission, and Dijkstra SPF feeding routes to
+// the FEA. The Section 5.2 experiment — hello interval 5 s, router-dead
+// interval 10 s, fail the Denver–Kansas City link, watch convergence — is
+// driven entirely through this package.
+package ospf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Message types.
+const (
+	TypeHello = 1
+	TypeLSU   = 4
+	TypeLSAck = 5
+)
+
+const headerLen = 16
+
+// Header is the common OSPF packet header (version 2, area 0 only).
+type Header struct {
+	Type     uint8
+	RouterID uint32
+	Length   uint16
+}
+
+// LinkDesc is one point-to-point link in a router LSA.
+type LinkDesc struct {
+	NeighborID uint32
+	Cost       uint32
+}
+
+// StubDesc is one stub prefix (a locally attached network) in a router
+// LSA: the tap0 host route and the virtual interface subnets.
+type StubDesc struct {
+	Prefix netip.Prefix
+	Cost   uint32
+}
+
+// LSA is a router LSA: the origin's view of its own adjacencies.
+type LSA struct {
+	Origin uint32
+	Seq    uint32
+	Links  []LinkDesc
+	Stubs  []StubDesc
+}
+
+// Key identifies the LSA instance for flooding/acks.
+type Key struct {
+	Origin uint32
+	Seq    uint32
+}
+
+// Key returns the LSA's identity.
+func (l LSA) Key() Key { return Key{Origin: l.Origin, Seq: l.Seq} }
+
+// Hello is the neighbor-discovery message.
+type Hello struct {
+	HelloInterval uint16 // seconds
+	DeadInterval  uint16 // seconds
+	Neighbors     []uint32
+}
+
+// LSU carries LSAs being flooded.
+type LSU struct {
+	LSAs []LSA
+}
+
+// LSAck acknowledges received LSAs.
+type LSAck struct {
+	Keys []Key
+}
+
+// RouterIDFromAddr derives the 32-bit router ID from an IPv4 address
+// (the node's tap0 address in IIAS).
+func RouterIDFromAddr(a netip.Addr) uint32 {
+	b := a.As4()
+	return binary.BigEndian.Uint32(b[:])
+}
+
+// AddrFromRouterID is the inverse of RouterIDFromAddr.
+func AddrFromRouterID(id uint32) netip.Addr {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], id)
+	return netip.AddrFrom4(b)
+}
+
+func marshalHeader(typ uint8, routerID uint32, body []byte) []byte {
+	out := make([]byte, headerLen+len(body))
+	out[0] = 2 // version
+	out[1] = typ
+	binary.BigEndian.PutUint16(out[2:4], uint16(len(out)))
+	binary.BigEndian.PutUint32(out[4:8], routerID)
+	// bytes 8-11: area 0; 14-15 reserved
+	copy(out[headerLen:], body)
+	binary.BigEndian.PutUint16(out[12:14], ipChecksum(out))
+	return out
+}
+
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		if i == 12 {
+			continue // checksum field
+		}
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// ParseHeader validates and decodes the common header, returning the body.
+func ParseHeader(b []byte) (Header, []byte, error) {
+	var h Header
+	if len(b) < headerLen {
+		return h, nil, fmt.Errorf("ospf: packet too short (%d)", len(b))
+	}
+	if b[0] != 2 {
+		return h, nil, fmt.Errorf("ospf: version %d", b[0])
+	}
+	length := binary.BigEndian.Uint16(b[2:4])
+	if int(length) < headerLen || int(length) > len(b) {
+		return h, nil, fmt.Errorf("ospf: bad length %d", length)
+	}
+	if ipChecksum(b[:length]) != binary.BigEndian.Uint16(b[12:14]) {
+		return h, nil, fmt.Errorf("ospf: checksum mismatch")
+	}
+	h.Type = b[1]
+	h.RouterID = binary.BigEndian.Uint32(b[4:8])
+	h.Length = length
+	return h, b[headerLen:length], nil
+}
+
+// MarshalHello encodes a hello packet.
+func MarshalHello(routerID uint32, h Hello) []byte {
+	body := make([]byte, 6+4*len(h.Neighbors))
+	binary.BigEndian.PutUint16(body[0:2], h.HelloInterval)
+	binary.BigEndian.PutUint16(body[2:4], h.DeadInterval)
+	binary.BigEndian.PutUint16(body[4:6], uint16(len(h.Neighbors)))
+	for i, n := range h.Neighbors {
+		binary.BigEndian.PutUint32(body[6+4*i:], n)
+	}
+	return marshalHeader(TypeHello, routerID, body)
+}
+
+// ParseHello decodes a hello body.
+func ParseHello(body []byte) (Hello, error) {
+	var h Hello
+	if len(body) < 6 {
+		return h, fmt.Errorf("ospf: hello too short")
+	}
+	h.HelloInterval = binary.BigEndian.Uint16(body[0:2])
+	h.DeadInterval = binary.BigEndian.Uint16(body[2:4])
+	n := int(binary.BigEndian.Uint16(body[4:6]))
+	if len(body) < 6+4*n {
+		return h, fmt.Errorf("ospf: hello neighbor list truncated")
+	}
+	for i := 0; i < n; i++ {
+		h.Neighbors = append(h.Neighbors, binary.BigEndian.Uint32(body[6+4*i:]))
+	}
+	return h, nil
+}
+
+func marshalLSA(out []byte, l LSA) []byte {
+	out = binary.BigEndian.AppendUint32(out, l.Origin)
+	out = binary.BigEndian.AppendUint32(out, l.Seq)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(l.Links)))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(l.Stubs)))
+	for _, ln := range l.Links {
+		out = binary.BigEndian.AppendUint32(out, ln.NeighborID)
+		out = binary.BigEndian.AppendUint32(out, ln.Cost)
+	}
+	for _, s := range l.Stubs {
+		a := s.Prefix.Addr().As4()
+		out = append(out, a[:]...)
+		out = append(out, byte(s.Prefix.Bits()), 0, 0, 0)
+		out = binary.BigEndian.AppendUint32(out, s.Cost)
+	}
+	return out
+}
+
+func parseLSA(b []byte) (LSA, []byte, error) {
+	var l LSA
+	if len(b) < 12 {
+		return l, nil, fmt.Errorf("ospf: LSA truncated")
+	}
+	l.Origin = binary.BigEndian.Uint32(b[0:4])
+	l.Seq = binary.BigEndian.Uint32(b[4:8])
+	nl := int(binary.BigEndian.Uint16(b[8:10]))
+	ns := int(binary.BigEndian.Uint16(b[10:12]))
+	b = b[12:]
+	need := 8*nl + 12*ns
+	if len(b) < need {
+		return l, nil, fmt.Errorf("ospf: LSA body truncated")
+	}
+	for i := 0; i < nl; i++ {
+		l.Links = append(l.Links, LinkDesc{
+			NeighborID: binary.BigEndian.Uint32(b[0:4]),
+			Cost:       binary.BigEndian.Uint32(b[4:8]),
+		})
+		b = b[8:]
+	}
+	for i := 0; i < ns; i++ {
+		addr := netip.AddrFrom4([4]byte(b[0:4]))
+		bits := int(b[4])
+		if bits > 32 {
+			return l, nil, fmt.Errorf("ospf: bad stub prefix length %d", bits)
+		}
+		l.Stubs = append(l.Stubs, StubDesc{
+			Prefix: netip.PrefixFrom(addr, bits),
+			Cost:   binary.BigEndian.Uint32(b[8:12]),
+		})
+		b = b[12:]
+	}
+	return l, b, nil
+}
+
+// MarshalLSU encodes a link-state update.
+func MarshalLSU(routerID uint32, u LSU) []byte {
+	body := binary.BigEndian.AppendUint16(nil, uint16(len(u.LSAs)))
+	for _, l := range u.LSAs {
+		body = marshalLSA(body, l)
+	}
+	return marshalHeader(TypeLSU, routerID, body)
+}
+
+// ParseLSU decodes an LSU body.
+func ParseLSU(body []byte) (LSU, error) {
+	var u LSU
+	if len(body) < 2 {
+		return u, fmt.Errorf("ospf: LSU too short")
+	}
+	n := int(binary.BigEndian.Uint16(body[0:2]))
+	b := body[2:]
+	for i := 0; i < n; i++ {
+		l, rest, err := parseLSA(b)
+		if err != nil {
+			return u, err
+		}
+		u.LSAs = append(u.LSAs, l)
+		b = rest
+	}
+	return u, nil
+}
+
+// MarshalLSAck encodes an acknowledgement.
+func MarshalLSAck(routerID uint32, a LSAck) []byte {
+	body := binary.BigEndian.AppendUint16(nil, uint16(len(a.Keys)))
+	for _, k := range a.Keys {
+		body = binary.BigEndian.AppendUint32(body, k.Origin)
+		body = binary.BigEndian.AppendUint32(body, k.Seq)
+	}
+	return marshalHeader(TypeLSAck, routerID, body)
+}
+
+// ParseLSAck decodes an acknowledgement body.
+func ParseLSAck(body []byte) (LSAck, error) {
+	var a LSAck
+	if len(body) < 2 {
+		return a, fmt.Errorf("ospf: LSAck too short")
+	}
+	n := int(binary.BigEndian.Uint16(body[0:2]))
+	if len(body) < 2+8*n {
+		return a, fmt.Errorf("ospf: LSAck truncated")
+	}
+	for i := 0; i < n; i++ {
+		a.Keys = append(a.Keys, Key{
+			Origin: binary.BigEndian.Uint32(body[2+8*i:]),
+			Seq:    binary.BigEndian.Uint32(body[6+8*i:]),
+		})
+	}
+	return a, nil
+}

@@ -1,0 +1,156 @@
+package overlay
+
+import (
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vini/internal/packet"
+)
+
+// buildLine stands up a live a—b—c overlay on loopback with fast OSPF
+// timers and returns the three nodes.
+func buildLine(t *testing.T) (a, b, c *Node) {
+	t.Helper()
+	mk := func(name, tap string) *Node {
+		n, err := NewNode(Config{
+			Name: name, Listen: "127.0.0.1:0",
+			TapAddr: netip.MustParseAddr(tap),
+			Hello:   200 * time.Millisecond, Dead: 600 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a = mk("a", "10.99.0.1")
+	b = mk("b", "10.99.0.2")
+	c = mk("c", "10.99.0.3")
+	t.Cleanup(func() { a.Close(); b.Close(); c.Close() })
+	link := func(x, y *Node, subnet byte, cost uint32) {
+		px := netip.AddrFrom4([4]byte{10, 99, subnet, 1})
+		py := netip.AddrFrom4([4]byte{10, 99, subnet, 2})
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 99, subnet, 0}), 30)
+		if err := x.AddPeer(PeerConfig{Remote: y.LocalAddr(), LocalIf: px, PeerIf: py, Prefix: prefix, Cost: cost}); err != nil {
+			t.Fatal(err)
+		}
+		if err := y.AddPeer(PeerConfig{Remote: x.LocalAddr(), LocalIf: py, PeerIf: px, Prefix: prefix, Cost: cost}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link(a, b, 10, 5)
+	link(b, c, 11, 7)
+	return a, b, c
+}
+
+// waitFor polls cond up to timeout.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func hasRoute(n *Node, prefix string) bool {
+	p := netip.MustParsePrefix(prefix)
+	for _, r := range n.Routes() {
+		if r.Prefix == p {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLiveOverlayConvergesAndForwards(t *testing.T) {
+	a, b, c := buildLine(t)
+	var delivered atomic.Int64
+	var lastPayload atomic.Value
+	c.OnDeliver(func(d []byte) {
+		var ip packet.IPv4
+		body, err := ip.Parse(d)
+		if err == nil && ip.Proto == packet.ProtoUDP {
+			var u packet.UDP
+			if pay, err := u.Parse(body); err == nil {
+				lastPayload.Store(string(pay))
+				delivered.Add(1)
+			}
+		}
+	})
+	for _, n := range []*Node{a, b, c} {
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Real OSPF over real sockets: a learns c's tap /32 transitively.
+	waitFor(t, 15*time.Second, func() bool {
+		return hasRoute(a, "10.99.0.3/32") && hasRoute(c, "10.99.0.1/32")
+	}, "OSPF convergence")
+	// Forward a real packet a -> c through b.
+	dgram := packet.BuildUDP(a.TapAddr(), c.TapAddr(), 1234, 5678, 64, []byte("in vini veritas"))
+	waitFor(t, 10*time.Second, func() bool {
+		a.Send(dgram)
+		return delivered.Load() > 0
+	}, "end-to-end delivery")
+	if got := lastPayload.Load().(string); got != "in vini veritas" {
+		t.Fatalf("payload = %q", got)
+	}
+	// TTL decremented by the transit Click at b: verify via a second
+	// delivery check isn't needed; adjacency state is enough here.
+	if nbs := b.Neighbors(); len(nbs) != 2 {
+		t.Fatalf("b neighbors = %+v", nbs)
+	}
+}
+
+func TestLiveFailureReroutesOrIsolates(t *testing.T) {
+	a, b, c := buildLine(t)
+	for _, n := range []*Node{a, b, c} {
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 15*time.Second, func() bool {
+		return hasRoute(a, "10.99.0.3/32")
+	}, "initial convergence")
+	// Fail the a-b tunnel inside Click on both ends: OSPF adjacencies
+	// die within the dead interval and a loses the route to c.
+	a.FailTunnel(0, true)
+	b.FailTunnel(0, true)
+	waitFor(t, 15*time.Second, func() bool {
+		return !hasRoute(a, "10.99.0.3/32")
+	}, "route withdrawal after live failure")
+	// Restore: the route comes back.
+	a.FailTunnel(0, false)
+	b.FailTunnel(0, false)
+	waitFor(t, 20*time.Second, func() bool {
+		return hasRoute(a, "10.99.0.3/32")
+	}, "route restoration")
+}
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := NewNode(Config{Listen: "127.0.0.1:0"}); err == nil {
+		t.Fatal("invalid tap address accepted")
+	}
+	if _, err := NewNode(Config{Listen: "not-an-address", TapAddr: netip.MustParseAddr("10.0.0.1")}); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+	n, err := NewNode(Config{Listen: "127.0.0.1:0", TapAddr: netip.MustParseAddr("10.0.0.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	if err := n.AddPeer(PeerConfig{Remote: "127.0.0.1:9"}); err == nil {
+		t.Fatal("AddPeer after Start accepted")
+	}
+}

@@ -1,0 +1,153 @@
+// Package packet implements the wire formats VINI forwards: Ethernet,
+// IPv4, UDP, TCP, ICMP, plus the IIAS UDP-tunnel encapsulation. Headers
+// decode from and serialize to byte slices in the gopacket style — decode
+// into caller-owned structs, no hidden allocation — because the data plane
+// (internal/click) handles every packet as raw bytes exactly as the Click
+// software router does.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// IP protocol numbers used by IIAS.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+	ProtoOSPF = 89
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+)
+
+// Header sizes in bytes.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20 // without options; IIAS never emits options
+	UDPHeaderLen      = 8
+	TCPHeaderLen      = 20 // without options
+	ICMPHeaderLen     = 8
+)
+
+// MTU is the Ethernet payload limit the substrate enforces.
+const MTU = 1500
+
+// Packet is the unit every data-plane component exchanges: a byte buffer
+// plus out-of-band annotations, mirroring Click's packet annotations.
+// Data begins at the outermost header currently meaningful to the holder
+// (an Ethernet frame at a tap device, an IPv4 datagram inside the
+// forwarder, a UDP-encapsulated datagram on a tunnel).
+type Packet struct {
+	Data []byte
+	Anno Annotations
+}
+
+// Annotations carries per-packet metadata that never appears on the wire.
+type Annotations struct {
+	// Timestamp is when the packet entered the system (virtual time in
+	// simulation, wall-clock offset in live mode).
+	Timestamp time.Duration
+	// InPort is the element-local input identifier (e.g. tunnel index).
+	InPort int
+	// SliceID identifies the experiment slice owning the packet, used by
+	// the VNET-style demultiplexer to isolate simultaneous experiments.
+	SliceID int
+	// Paint is a free-form mark used by Paint/CheckPaint elements.
+	Paint int
+	// NextHop is the virtual next-hop address selected by the FIB lookup,
+	// consumed by the encapsulation-table lookup (Click's dst_ip
+	// annotation).
+	NextHop netip.Addr
+	// Hops counts virtual-node traversals, for life-of-a-packet traces.
+	Hops int
+}
+
+// New returns a packet wrapping data (not copied).
+func New(data []byte) *Packet { return &Packet{Data: data} }
+
+// Clone deep-copies the packet, as Tee does in Click.
+func (p *Packet) Clone() *Packet {
+	q := &Packet{Data: append([]byte(nil), p.Data...), Anno: p.Anno}
+	return q
+}
+
+// Len returns the current buffer length.
+func (p *Packet) Len() int { return len(p.Data) }
+
+// Pull removes n bytes from the front (decapsulation). It panics if the
+// buffer is shorter than n; callers validate with header parsing first.
+func (p *Packet) Pull(n int) { p.Data = p.Data[n:] }
+
+// Push prepends hdr to the buffer (encapsulation).
+func (p *Packet) Push(hdr []byte) {
+	buf := make([]byte, len(hdr)+len(p.Data))
+	copy(buf, hdr)
+	copy(buf[len(hdr):], p.Data)
+	p.Data = buf
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the IPv4 pseudo-header partial sum used by UDP
+// and TCP checksums.
+func pseudoHeaderSum(src, dst netip.Addr, proto uint8, length int) uint32 {
+	var sum uint32
+	s, d := src.As4(), dst.As4()
+	sum += uint32(binary.BigEndian.Uint16(s[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(s[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(d[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(d[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// transportChecksum computes a UDP/TCP checksum including pseudo-header.
+func transportChecksum(src, dst netip.Addr, proto uint8, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	b := segment
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// ParseError describes a malformed header.
+type ParseError struct {
+	Layer string
+	Msg   string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("packet: bad %s: %s", e.Layer, e.Msg) }
+
+func parseErr(layer, format string, args ...any) error {
+	return &ParseError{Layer: layer, Msg: fmt.Sprintf(format, args...)}
+}

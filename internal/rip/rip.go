@@ -1,0 +1,317 @@
+// Package rip implements a RIPv2-style distance-vector protocol, the
+// second interior protocol in the XORP suite IIAS uses as its control
+// plane. It exists both for completeness and for the paper's concluding
+// usage mode — running different routing protocols in parallel on the
+// same physical infrastructure (one slice OSPF, another RIP).
+//
+// Implemented behaviour: periodic full updates, split horizon with
+// poisoned reverse, triggered updates on metric changes, the 16-hop
+// infinity, route timeout and garbage collection.
+package rip
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"vini/internal/fib"
+	"vini/internal/sim"
+)
+
+// Infinity is the RIP unreachable metric.
+const Infinity = 16
+
+// Transport sends a RIP packet out a virtual interface (same contract as
+// ospf.Transport).
+type Transport interface {
+	SendRouting(ifIndex int, payload []byte)
+}
+
+// Interface is one point-to-point virtual interface.
+type Interface struct {
+	Name   string
+	Index  int
+	Addr   netip.Addr
+	Prefix netip.Prefix
+}
+
+// Config parameterizes a router.
+type Config struct {
+	// Update is the periodic advertisement interval (RFC: 30 s).
+	Update time.Duration
+	// Timeout marks a route stale (RFC: 180 s).
+	Timeout time.Duration
+	// GC removes a stale route after advertising its death (RFC: 120 s).
+	GC time.Duration
+	// Stubs are local prefixes advertised at metric 1.
+	Stubs []netip.Prefix
+}
+
+func (c *Config) setDefaults() {
+	if c.Update <= 0 {
+		c.Update = 30 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 6 * c.Update
+	}
+	if c.GC <= 0 {
+		c.GC = 4 * c.Update
+	}
+}
+
+// entry is one learned route.
+type entry struct {
+	prefix  netip.Prefix
+	metric  uint32
+	nextHop netip.Addr
+	ifIndex int
+	learned time.Duration
+	deadAt  time.Duration // when metric became Infinity (for GC)
+	local   bool
+}
+
+// Router is one RIP speaker.
+type Router struct {
+	cfg      Config
+	clock    sim.Clock
+	tr       Transport
+	ifaces   []*Interface
+	table    map[netip.Prefix]*entry
+	onRoutes func([]fib.Route)
+	started  bool
+	timer    *sim.Timer
+}
+
+// New creates a router; call AddInterface then Start.
+func New(clock sim.Clock, cfg Config, tr Transport) *Router {
+	cfg.setDefaults()
+	return &Router{cfg: cfg, clock: clock, tr: tr, table: make(map[netip.Prefix]*entry)}
+}
+
+// AddInterface registers an interface before Start.
+func (r *Router) AddInterface(ifc Interface) error {
+	if r.started {
+		return fmt.Errorf("rip: AddInterface after Start")
+	}
+	c := ifc
+	r.ifaces = append(r.ifaces, &c)
+	return nil
+}
+
+// OnRoutes installs the FEA hook.
+func (r *Router) OnRoutes(fn func([]fib.Route)) { r.onRoutes = fn }
+
+// Start seeds local routes and begins periodic updates.
+func (r *Router) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	for _, p := range r.cfg.Stubs {
+		r.table[p.Masked()] = &entry{prefix: p.Masked(), metric: 0, local: true}
+	}
+	for _, ifc := range r.ifaces {
+		p := ifc.Prefix.Masked()
+		r.table[p] = &entry{prefix: p, metric: 0, local: true, ifIndex: ifc.Index}
+	}
+	r.emit()
+	r.periodic()
+}
+
+// Stop cancels the periodic timer.
+func (r *Router) Stop() {
+	r.started = false
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+}
+
+func (r *Router) periodic() {
+	if !r.started {
+		return
+	}
+	r.expire()
+	r.sendUpdates(false)
+	r.timer = r.clock.Schedule(r.cfg.Update, r.periodic)
+}
+
+func (r *Router) expire() {
+	now := r.clock.Now()
+	changed := false
+	for p, e := range r.table {
+		if e.local {
+			continue
+		}
+		if e.metric < Infinity && now-e.learned > r.cfg.Timeout {
+			e.metric = Infinity
+			e.deadAt = now
+			changed = true
+		}
+		if e.metric >= Infinity && e.deadAt != 0 && now-e.deadAt > r.cfg.GC {
+			delete(r.table, p)
+		}
+	}
+	if changed {
+		r.emit()
+	}
+}
+
+// sendUpdates advertises the table on every interface with split horizon
+// and poisoned reverse.
+func (r *Router) sendUpdates(_ bool) {
+	for _, ifc := range r.ifaces {
+		var ads []advert
+		prefixes := make([]netip.Prefix, 0, len(r.table))
+		for p := range r.table {
+			prefixes = append(prefixes, p)
+		}
+		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].String() < prefixes[j].String() })
+		for _, p := range prefixes {
+			e := r.table[p]
+			m := e.metric + 1
+			if m > Infinity {
+				m = Infinity
+			}
+			if !e.local && e.ifIndex == ifc.Index {
+				m = Infinity // poisoned reverse
+			}
+			ads = append(ads, advert{prefix: p, metric: m})
+		}
+		if len(ads) > 0 {
+			r.tr.SendRouting(ifc.Index, marshalUpdate(ads))
+		}
+	}
+}
+
+// Receive processes a RIP packet from a neighbor.
+func (r *Router) Receive(ifIndex int, src netip.Addr, payload []byte) error {
+	if !r.started {
+		return nil
+	}
+	ads, err := parseUpdate(payload)
+	if err != nil {
+		return err
+	}
+	now := r.clock.Now()
+	changed := false
+	for _, ad := range ads {
+		p := ad.prefix.Masked()
+		m := ad.metric
+		if m > Infinity {
+			m = Infinity
+		}
+		cur, have := r.table[p]
+		switch {
+		case have && cur.local:
+			// Never override local routes.
+		case !have && m < Infinity:
+			r.table[p] = &entry{prefix: p, metric: m, nextHop: src, ifIndex: ifIndex, learned: now}
+			changed = true
+		case have && cur.nextHop == src && cur.ifIndex == ifIndex:
+			// Update from the current next hop always applies.
+			if m != cur.metric {
+				cur.metric = m
+				changed = true
+				if m >= Infinity {
+					cur.deadAt = now
+				}
+			}
+			if m < Infinity {
+				cur.learned = now
+			}
+		case have && m < cur.metric:
+			cur.metric = m
+			cur.nextHop = src
+			cur.ifIndex = ifIndex
+			cur.learned = now
+			changed = true
+		}
+	}
+	if changed {
+		r.emit()
+		r.sendUpdates(true) // triggered update
+	}
+	return nil
+}
+
+// emit pushes the current route set to the FEA hook.
+func (r *Router) emit() {
+	if r.onRoutes == nil {
+		return
+	}
+	var routes []fib.Route
+	for _, e := range r.table {
+		if e.local || e.metric >= Infinity {
+			continue
+		}
+		routes = append(routes, fib.Route{
+			Prefix:  e.prefix,
+			NextHop: e.nextHop,
+			OutPort: e.ifIndex,
+			Metric:  e.metric,
+		})
+	}
+	sort.Slice(routes, func(i, j int) bool {
+		return routes[i].Prefix.String() < routes[j].Prefix.String()
+	})
+	r.onRoutes(routes)
+}
+
+// Table returns a snapshot of all entries, for diagnostics.
+func (r *Router) Table() []fib.Route {
+	var out []fib.Route
+	for _, e := range r.table {
+		out = append(out, fib.Route{Prefix: e.prefix, NextHop: e.nextHop,
+			OutPort: e.ifIndex, Metric: e.metric})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.String() < out[j].Prefix.String() })
+	return out
+}
+
+// advert is one route in an update.
+type advert struct {
+	prefix netip.Prefix
+	metric uint32
+}
+
+// marshalUpdate encodes a RIPv2-style response packet.
+func marshalUpdate(ads []advert) []byte {
+	out := make([]byte, 4, 4+len(ads)*12)
+	out[0] = 2 // command: response
+	out[1] = 2 // version
+	binary.BigEndian.PutUint16(out[2:4], uint16(len(ads)))
+	for _, ad := range ads {
+		a := ad.prefix.Addr().As4()
+		out = append(out, a[:]...)
+		out = append(out, byte(ad.prefix.Bits()), 0, 0, 0)
+		out = binary.BigEndian.AppendUint32(out, ad.metric)
+	}
+	return out
+}
+
+func parseUpdate(b []byte) ([]advert, error) {
+	if len(b) < 4 || b[0] != 2 || b[1] != 2 {
+		return nil, fmt.Errorf("rip: bad packet header")
+	}
+	n := int(binary.BigEndian.Uint16(b[2:4]))
+	b = b[4:]
+	if len(b) < 12*n {
+		return nil, fmt.Errorf("rip: truncated update")
+	}
+	ads := make([]advert, 0, n)
+	for i := 0; i < n; i++ {
+		addr := netip.AddrFrom4([4]byte(b[0:4]))
+		bits := int(b[4])
+		if bits > 32 {
+			return nil, fmt.Errorf("rip: bad prefix length %d", bits)
+		}
+		ads = append(ads, advert{
+			prefix: netip.PrefixFrom(addr, bits),
+			metric: binary.BigEndian.Uint32(b[8:12]),
+		})
+		b = b[12:]
+	}
+	return ads, nil
+}

@@ -1,0 +1,214 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// VINI substrate: a virtual clock, an event loop with deterministic
+// ordering, and cancellable timers.
+//
+// All simulated components (links, CPU schedulers, routing protocols,
+// traffic generators) are driven from a single Loop, so no locking is
+// required inside simulated code. Components written against the Clock
+// interface also run unmodified on a real clock (see RealClock), which is
+// how the live overlay in internal/overlay reuses the protocol
+// implementations.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is the scheduling surface protocol code is written against.
+// Implementations: *Loop (virtual time) and *RealClock (wall time).
+type Clock interface {
+	// Now returns the current time as an offset from the start of the run.
+	Now() time.Duration
+	// Schedule arranges for fn to run at Now()+d. It returns a Timer that
+	// can cancel the call. d < 0 is treated as 0.
+	Schedule(d time.Duration, fn func()) *Timer
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	ev *event
+	// stopReal cancels a RealClock timer.
+	stopReal func() bool
+}
+
+// Stop cancels the timer. It reports whether the call was cancelled before
+// running. Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil {
+		return false
+	}
+	if t.stopReal != nil {
+		return t.stopReal()
+	}
+	if t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil
+	return true
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break so same-time events run in schedule order
+	fn  func()
+	idx int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Loop is a single-threaded discrete-event loop with virtual time.
+// The zero value is not usable; call NewLoop.
+type Loop struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	rng     *RNG
+}
+
+// NewLoop returns a Loop whose clock starts at zero and whose RNG is
+// seeded with seed (runs with equal seeds are bit-identical).
+func NewLoop(seed int64) *Loop {
+	return &Loop{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// RNG returns the loop's deterministic random source.
+func (l *Loop) RNG() *RNG { return l.rng }
+
+// Schedule implements Clock.
+func (l *Loop) Schedule(d time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	if d < 0 {
+		d = 0
+	}
+	l.seq++
+	ev := &event{at: l.now + d, seq: l.seq, fn: fn}
+	heap.Push(&l.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Stop makes Run return after the event currently executing completes.
+func (l *Loop) Stop() { l.stopped = true }
+
+// Pending reports the number of scheduled (possibly cancelled) events.
+func (l *Loop) Pending() int { return len(l.queue) }
+
+// Step runs the single earliest event. It reports false when the queue is
+// empty.
+func (l *Loop) Step() bool {
+	for len(l.queue) > 0 {
+		ev := heap.Pop(&l.queue).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		if ev.at > l.now {
+			l.now = ev.at
+		}
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, Stop is called, or the
+// next event lies beyond until. Virtual time is left at min(until, time of
+// last event run); it advances to until when the queue drains first.
+func (l *Loop) Run(until time.Duration) {
+	l.stopped = false
+	for !l.stopped {
+		// Peek for the horizon without executing.
+		var next *event
+		for len(l.queue) > 0 {
+			if l.queue[0].fn == nil {
+				heap.Pop(&l.queue)
+				continue
+			}
+			next = l.queue[0]
+			break
+		}
+		if next == nil {
+			break
+		}
+		if next.at > until {
+			l.now = until
+			return
+		}
+		l.Step()
+	}
+	if l.now < until {
+		l.now = until
+	}
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+// Unlike Run, it leaves virtual time at the time of the last event run.
+func (l *Loop) RunAll() {
+	l.stopped = false
+	for !l.stopped && l.Step() {
+	}
+}
+
+// RealClock adapts the wall clock to the Clock interface so protocol code
+// written for the simulator drives live deployments (cmd/iiasd). Callbacks
+// are delivered on arbitrary goroutines via time.AfterFunc; callers that
+// need single-threaded semantics should funnel them through an actor loop
+// (internal/overlay does this).
+type RealClock struct {
+	start time.Time
+}
+
+// NewRealClock returns a RealClock anchored at time.Now().
+func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
+
+// Schedule implements Clock.
+func (c *RealClock) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := time.AfterFunc(d, fn)
+	return &Timer{stopReal: t.Stop}
+}
+
+// String renders a duration as seconds with millisecond precision, the
+// format used throughout experiment logs.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}

@@ -1,0 +1,124 @@
+package traffic
+
+import (
+	"net/netip"
+	"time"
+
+	"vini/internal/packet"
+	"vini/internal/sim"
+)
+
+// Hop is one traceroute result line.
+type Hop struct {
+	TTL  int
+	Addr netip.Addr // responder (invalid if timed out)
+	RTT  time.Duration
+}
+
+// TracerouteConfig parameterizes a trace.
+type TracerouteConfig struct {
+	Src, Dst netip.Addr
+	// MaxTTL bounds the probe depth (default 16).
+	MaxTTL int
+	// Timeout per probe (default 2 s).
+	Timeout time.Duration
+	// Port is the probe's (unlikely-to-be-listened) UDP destination port
+	// base, as classic traceroute uses (default 33434).
+	Port uint16
+}
+
+// Traceroute runs UDP-probe traceroute through the node's stack: each
+// virtual Click hop that expires the TTL answers with an ICMP time
+// exceeded from its tap address, and the destination answers port
+// unreachable — exactly the behaviour the IIAS ICMPError elements
+// implement. Call Run, advance the simulation, then read Hops.
+type Traceroute struct {
+	host    *ICMPHost
+	loop    *sim.Loop
+	cfg     TracerouteConfig
+	Hops    []Hop
+	Done    bool
+	current int
+	sentAt  time.Duration
+	timer   *sim.Timer
+	onDone  func()
+}
+
+// StartTraceroute begins a trace through the host's node.
+func (h *ICMPHost) StartTraceroute(loop *sim.Loop, cfg TracerouteConfig) *Traceroute {
+	if cfg.MaxTTL <= 0 {
+		cfg.MaxTTL = 16
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Port == 0 {
+		cfg.Port = 33434
+	}
+	tr := &Traceroute{host: h, loop: loop, cfg: cfg}
+	h.traces = append(h.traces, tr)
+	tr.probe(1)
+	return tr
+}
+
+// OnDone registers a completion callback.
+func (tr *Traceroute) OnDone(fn func()) { tr.onDone = fn }
+
+func (tr *Traceroute) probe(ttl int) {
+	if ttl > tr.cfg.MaxTTL {
+		tr.finish()
+		return
+	}
+	tr.current = ttl
+	tr.sentAt = tr.loop.Now()
+	d := packet.BuildUDP(tr.cfg.Src, tr.cfg.Dst, 44444, tr.cfg.Port+uint16(ttl), uint8(ttl), nil)
+	tr.host.node.StackSend(d)
+	tr.timer = tr.loop.Schedule(tr.cfg.Timeout, func() {
+		tr.Hops = append(tr.Hops, Hop{TTL: ttl}) // * * *
+		tr.probe(ttl + 1)
+	})
+}
+
+// handleError processes an ICMP error that may answer the current probe.
+// It reports whether the error was consumed.
+func (tr *Traceroute) handleError(from netip.Addr, icmpType uint8, quote []byte) bool {
+	if tr.Done {
+		return false
+	}
+	// The quote is the offending datagram's header plus 8 payload bytes
+	// (RFC 792). It is deliberately truncated, so extract fields by
+	// offset rather than with the strict parser.
+	if len(quote) < packet.IPv4HeaderLen || quote[0]>>4 != 4 {
+		return false
+	}
+	ihl := int(quote[0]&0xf) * 4
+	if len(quote) < ihl+4 {
+		return false
+	}
+	osrc := netip.AddrFrom4([4]byte(quote[12:16]))
+	odst := netip.AddrFrom4([4]byte(quote[16:20]))
+	if odst != tr.cfg.Dst || osrc != tr.cfg.Src {
+		return false
+	}
+	dport := uint16(quote[ihl+2])<<8 | uint16(quote[ihl+3])
+	if dport != tr.cfg.Port+uint16(tr.current) {
+		return false
+	}
+	if tr.timer != nil {
+		tr.timer.Stop()
+	}
+	tr.Hops = append(tr.Hops, Hop{TTL: tr.current, Addr: from, RTT: tr.loop.Now() - tr.sentAt})
+	if icmpType == packet.ICMPUnreachable || from == tr.cfg.Dst {
+		tr.finish()
+		return true
+	}
+	tr.probe(tr.current + 1)
+	return true
+}
+
+func (tr *Traceroute) finish() {
+	tr.Done = true
+	if tr.onDone != nil {
+		tr.onDone()
+	}
+}

@@ -1,0 +1,142 @@
+package traffic
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"time"
+
+	"vini/internal/netem"
+	"vini/internal/packet"
+	"vini/internal/sim"
+)
+
+// UDPCBRConfig parameterizes iperf's UDP constant-bit-rate test.
+type UDPCBRConfig struct {
+	// RateBps is the target bit rate.
+	RateBps float64
+	// Payload is the UDP payload size (the paper uses 1430 bytes).
+	Payload int
+	// Port is the server port.
+	Port uint16
+	// SrcAddr/DstAddr override node primary addresses (tap0 for overlay).
+	SrcAddr, DstAddr netip.Addr
+}
+
+// UDPCBR is a running CBR test: sender on the client node, receiver on
+// the server node. The receiver computes iperf's jitter (the RFC 1889
+// interarrival-jitter estimator) and loss from sequence gaps — the
+// quantities Tables 3/5/6 and Figure 6 report.
+type UDPCBR struct {
+	loop    *sim.Loop
+	cfg     UDPCBRConfig
+	client  *netem.Node
+	src     netip.Addr
+	dst     netip.Addr
+	seq     uint32
+	stopped bool
+	// Receiver state.
+	received  uint32
+	maxSeq    uint32
+	jitter    float64 // seconds, RFC 1889 smoothed
+	lastTrans time.Duration
+	haveTrans bool
+	// JitterStats samples the smoothed jitter (ms) at each arrival.
+	JitterStats sim.Stats
+	// TransitStats records one-way transit times (ms).
+	TransitStats sim.Stats
+}
+
+// StartUDPCBR begins the test; Stop it after the measurement interval.
+func StartUDPCBR(w *netem.Network, client, server *netem.Node, cfg UDPCBRConfig) (*UDPCBR, error) {
+	if cfg.Payload <= 0 {
+		cfg.Payload = 1430
+	}
+	if cfg.Payload < 12 {
+		cfg.Payload = 12
+	}
+	if cfg.Port == 0 {
+		cfg.Port = 5001
+	}
+	t := &UDPCBR{loop: w.Loop(), cfg: cfg, client: client,
+		src: client.Addr(), dst: server.Addr()}
+	if cfg.SrcAddr.IsValid() {
+		t.src = cfg.SrcAddr
+	}
+	if cfg.DstAddr.IsValid() {
+		t.dst = cfg.DstAddr
+	}
+	if err := server.StackListenUDP(cfg.Port, t.receive); err != nil {
+		return nil, err
+	}
+	t.tick()
+	return t, nil
+}
+
+// Stop halts the sender.
+func (t *UDPCBR) Stop() { t.stopped = true }
+
+func (t *UDPCBR) tick() {
+	if t.stopped {
+		return
+	}
+	payload := make([]byte, t.cfg.Payload)
+	binary.BigEndian.PutUint32(payload[0:4], t.seq)
+	binary.BigEndian.PutUint64(payload[4:12], uint64(t.loop.Now()))
+	t.seq++
+	t.client.StackSend(packet.BuildUDP(t.src, t.dst, t.cfg.Port+1000, t.cfg.Port, 64, payload))
+	interval := time.Duration(float64(t.cfg.Payload+packet.UDPHeaderLen+packet.IPv4HeaderLen) *
+		8 / t.cfg.RateBps * float64(time.Second))
+	t.loop.Schedule(interval, t.tick)
+}
+
+func (t *UDPCBR) receive(dgram []byte) {
+	var ip packet.IPv4
+	seg, err := ip.Parse(dgram)
+	if err != nil {
+		return
+	}
+	var u packet.UDP
+	payload, err := u.Parse(seg)
+	if err != nil || len(payload) < 12 {
+		return
+	}
+	seq := binary.BigEndian.Uint32(payload[0:4])
+	sentAt := time.Duration(binary.BigEndian.Uint64(payload[4:12]))
+	t.received++
+	if seq > t.maxSeq {
+		t.maxSeq = seq
+	}
+	transit := t.loop.Now() - sentAt
+	t.TransitStats.AddDuration(transit)
+	if t.haveTrans {
+		d := transit - t.lastTrans
+		if d < 0 {
+			d = -d
+		}
+		// RFC 1889: J += (|D| - J) / 16.
+		t.jitter += (d.Seconds() - t.jitter) / 16
+		t.JitterStats.Add(t.jitter * 1000)
+	}
+	t.haveTrans = true
+	t.lastTrans = transit
+}
+
+// LossRate returns the fraction of sent packets never received,
+// counting only packets that had a chance to arrive (sequence space up
+// to the highest received, as iperf does).
+func (t *UDPCBR) LossRate() float64 {
+	if t.maxSeq == 0 && t.received == 0 {
+		return 0
+	}
+	expected := t.maxSeq + 1
+	if t.received >= expected {
+		return 0
+	}
+	return float64(expected-t.received) / float64(expected)
+}
+
+// Received returns the packets delivered.
+func (t *UDPCBR) Received() uint32 { return t.received }
+
+// Jitter returns the final smoothed jitter estimate in milliseconds.
+func (t *UDPCBR) Jitter() float64 { return t.jitter * 1000 }
