@@ -212,9 +212,27 @@ func BenchmarkFIBLookup(b *testing.B) {
 		t.Add(fib.Route{Prefix: netip.PrefixFrom(a, 20)})
 	}
 	dst := netip.MustParseAddr("10.1.2.3")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Lookup(dst)
+	}
+}
+
+// BenchmarkFIBCacheLookup measures the per-consumer version-stamped cache
+// in front of the table (the LookupIPRoute element's hot path).
+func BenchmarkFIBCacheLookup(b *testing.B) {
+	t := fib.New()
+	for i := 0; i < 1024; i++ {
+		a := netip.AddrFrom4([4]byte{10, byte(i >> 4), byte(i << 4), 0})
+		t.Add(fib.Route{Prefix: netip.PrefixFrom(a, 20)})
+	}
+	c := fib.NewCache(t)
+	dst := netip.MustParseAddr("10.1.2.3")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(dst)
 	}
 }
 
@@ -223,6 +241,7 @@ func BenchmarkIPv4ParseMarshal(b *testing.B) {
 	dst := netip.MustParseAddr("10.1.2.3")
 	d := packet.BuildUDP(src, dst, 1, 2, 64, make([]byte, 1400))
 	b.SetBytes(int64(len(d)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var h packet.IPv4
@@ -235,6 +254,7 @@ func BenchmarkIPv4ParseMarshal(b *testing.B) {
 func BenchmarkChecksum1500(b *testing.B) {
 	buf := make([]byte, 1500)
 	b.SetBytes(1500)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		packet.Checksum(buf)
 	}
@@ -271,9 +291,26 @@ func BenchmarkClickForward(b *testing.B) {
 	}
 	tmpl := packet.BuildUDP(netip.MustParseAddr("10.1.0.9"), netip.MustParseAddr("10.1.0.7"), 1, 2, 64, make([]byte, 1400))
 	b.SetBytes(int64(len(tmpl)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := packet.New(append([]byte(nil), tmpl...))
+		r.Push("fromtun", 0, p)
+	}
+}
+
+// BenchmarkClickForwardPooled is the same element graph driven with pooled
+// packets and a releasing tunnel sink that re-encapsulates in headroom —
+// the configuration the zero-alloc guard (TestForwardingFastPathZeroAlloc)
+// pins at 0 allocs/op.
+func BenchmarkClickForwardPooled(b *testing.B) {
+	r, _, tmpl := buildFastPath(b)
+	b.SetBytes(int64(len(tmpl)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := packet.Get()
+		copy(p.Extend(len(tmpl)), tmpl)
 		r.Push("fromtun", 0, p)
 	}
 }
@@ -298,6 +335,7 @@ func BenchmarkSimLoop(b *testing.B) {
 		}
 	}
 	loop.Schedule(time.Microsecond, tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	loop.RunAll()
 	if n < b.N {

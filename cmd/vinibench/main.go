@@ -4,17 +4,23 @@
 //
 // Usage:
 //
-//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation] [-seed N] [-short]
+//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath] [-seed N] [-short]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
+	"testing"
 	"time"
 
+	"vini/internal/click"
 	"vini/internal/experiment"
+	"vini/internal/fib"
+	"vini/internal/packet"
 	"vini/internal/rcc"
+	"vini/internal/sim"
 	"vini/internal/topology"
 )
 
@@ -47,6 +53,104 @@ func main() {
 	run("fig8", fig8)
 	run("fig9", fig9)
 	run("ablation", ablation)
+	run("fastpath", fastpath)
+}
+
+// fastpath reports the data-plane hot-path microbenchmarks with their
+// allocation metrics, the numbers the zero-allocation guard in
+// fastpath_test.go pins.
+func fastpath() error {
+	report := func(name string, setBytes int64, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		line := fmt.Sprintf("%-24s %10.1f ns/op %8d B/op %6d allocs/op",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		if setBytes > 0 {
+			mbs := float64(setBytes) * float64(r.N) / r.T.Seconds() / 1e6
+			line += fmt.Sprintf(" %9.0f MB/s", mbs)
+		}
+		fmt.Println(line)
+	}
+	report("fib-lookup", 0, func(b *testing.B) {
+		t := fib.New()
+		for i := 0; i < 1024; i++ {
+			a := netip.AddrFrom4([4]byte{10, byte(i >> 4), byte(i << 4), 0})
+			t.Add(fib.Route{Prefix: netip.PrefixFrom(a, 20)})
+		}
+		c := fib.NewCache(t)
+		dst := netip.MustParseAddr("10.1.2.3")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Lookup(dst)
+		}
+	})
+	report("checksum-1500B", 1500, func(b *testing.B) {
+		buf := make([]byte, 1500)
+		for i := 0; i < b.N; i++ {
+			packet.Checksum(buf)
+		}
+	})
+	r, tmpl, err := forwardGraph()
+	if err != nil {
+		return err
+	}
+	report("click-forward-pooled", int64(len(tmpl)), func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := packet.Get()
+			copy(p.Extend(len(tmpl)), tmpl)
+			r.Push("fromtun", 0, p)
+		}
+	})
+	fmt.Println("(steady-state IIAS forwarding: pooled packets, cached FIB, in-place encap)")
+	return nil
+}
+
+// tunnelEncap re-encapsulates in headroom and recycles, the substrate's
+// fast-path hand-off.
+type tunnelEncap struct{ local netip.Addr }
+
+func (t tunnelEncap) SendTunnel(e fib.EncapEntry, p *packet.Packet) {
+	packet.EncapUDP(p, t.local, e.Remote, 33000, e.Port)
+	packet.EncapIPv4(p, &packet.IPv4{TTL: 64, Proto: packet.ProtoUDP, Src: t.local, Dst: e.Remote})
+	p.Release()
+}
+
+type tapDiscard struct{}
+
+func (tapDiscard) DeliverTap(p *packet.Packet) { p.Release() }
+
+// forwardGraph builds the IIAS forwarding chain the fastpath benchmarks
+// drive: tunnel-in -> check -> TTL -> FIB -> encap -> tunnel-out.
+func forwardGraph() (*click.Router, []byte, error) {
+	loop := sim.NewLoop(1)
+	ctx := &click.Context{
+		Clock: loop, RNG: loop.RNG(),
+		FIB:       fib.New(),
+		Encap:     fib.NewEncapTable(),
+		Tunnels:   tunnelEncap{local: netip.MustParseAddr("198.32.154.40")},
+		Tap:       tapDiscard{},
+		LocalAddr: packet.Flow{Src: netip.MustParseAddr("10.1.0.1")},
+	}
+	nh := netip.MustParseAddr("10.1.128.2")
+	ctx.FIB.Add(fib.Route{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: nh, OutPort: 0})
+	ctx.Encap.Set(fib.EncapEntry{NextHop: nh, Remote: netip.MustParseAddr("198.32.154.41"), Port: 33000})
+	r, err := click.ParseConfig(ctx, `
+		fromtun :: FromTunnel;
+		chk :: CheckIPHeader;
+		dec :: DecIPTTL;
+		rt :: LookupIPRoute;
+		encap :: EncapTunnel;
+		fromtun -> chk; chk[0] -> dec; dec[0] -> rt; rt[0] -> encap;
+	`)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := r.Initialize(); err != nil {
+		return nil, nil, err
+	}
+	tmpl := packet.BuildUDP(netip.MustParseAddr("10.1.0.9"), netip.MustParseAddr("10.1.0.7"),
+		1, 2, 64, make([]byte, 1400))
+	return r, tmpl, nil
 }
 
 // ablation regenerates the design-choice studies DESIGN.md lists.

@@ -36,8 +36,8 @@ type peer struct {
 	remote     Open
 	adjIn      map[netip.Prefix]PathAttrs
 	advertised map[netip.Prefix]bool
-	holdTimer  *sim.Timer
-	kaTimer    *sim.Timer
+	holdTimer  sim.Timer
+	kaTimer    sim.Timer
 }
 
 // Route is a Loc-RIB entry with its source peer.
@@ -178,7 +178,7 @@ func (s *Speaker) Deliver(peerName string, msg []byte) error {
 }
 
 func (s *Speaker) resetHold(p *peer, name string) {
-	if p.holdTimer != nil {
+	if !p.holdTimer.IsZero() {
 		p.holdTimer.Stop()
 	}
 	hold := time.Duration(p.remote.HoldTime) * time.Second
@@ -208,10 +208,10 @@ func (s *Speaker) startKeepalives(p *peer) {
 // sessionDown clears a failed session and withdraws its routes.
 func (s *Speaker) sessionDown(name string, p *peer) {
 	p.state = "Idle"
-	if p.holdTimer != nil {
+	if !p.holdTimer.IsZero() {
 		p.holdTimer.Stop()
 	}
-	if p.kaTimer != nil {
+	if !p.kaTimer.IsZero() {
 		p.kaTimer.Stop()
 	}
 	p.adjIn = make(map[netip.Prefix]PathAttrs)

@@ -13,6 +13,7 @@ package click
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"vini/internal/fib"
@@ -54,11 +55,18 @@ type edge struct {
 	port int
 }
 
-// Output emits p on output port. Unconnected ports discard, as Click
-// does for push outputs wired to Discard implicitly (strict Click errors
-// instead; we log through the router trace hook when set).
+// Output emits p on output port, transferring ownership. Fan-out sends
+// deep clones to all edges but the last, which receives the original
+// (Click's Tee discipline). Unconnected ports discard — and Release —
+// the packet, as Click does for push outputs wired to Discard implicitly.
+// Pushing a packet that was already released panics: it means an element
+// kept emitting a packet it no longer owned.
 func (ps *PortSet) Output(port int, p *packet.Packet) {
-	if port < 0 || port >= len(ps.conns) {
+	if p.Released() {
+		panic("click: " + ps.name + ": output of a released packet")
+	}
+	if port < 0 || port >= len(ps.conns) || len(ps.conns[port]) == 0 {
+		p.Release()
 		return
 	}
 	es := ps.conns[port]
@@ -274,10 +282,8 @@ func (r *Router) Handler(path, value string) (string, error) {
 }
 
 func cutLast(s string, sep byte) (before, after string, ok bool) {
-	for i := len(s) - 1; i >= 0; i-- {
-		if s[i] == sep {
-			return s[:i], s[i+1:], true
-		}
+	if i := strings.LastIndexByte(s, sep); i >= 0 {
+		return s[:i], s[i+1:], true
 	}
 	return s, "", false
 }

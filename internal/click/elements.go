@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"vini/internal/fib"
 	"vini/internal/nat"
 	"vini/internal/packet"
 )
@@ -72,6 +73,7 @@ func (e *discard) Class() string { return "Discard" }
 func (e *discard) Push(port int, p *packet.Packet) {
 	e.count++
 	e.trace("discard", p)
+	p.Release()
 }
 
 func (e *discard) Handler(name, value string) (string, error) {
@@ -286,6 +288,7 @@ func (e *classifier) Push(port int, p *packet.Packet) {
 		}
 	}
 	e.trace("no-match", p)
+	p.Release()
 }
 
 func matchClauses(cs []clause, b []byte) bool {
@@ -347,6 +350,7 @@ func newDecIPTTL(name string, args []string) (Element, error) {
 func (e *decIPTTL) Class() string { return "DecIPTTL" }
 func (e *decIPTTL) Push(port int, p *packet.Packet) {
 	if len(p.Data) < packet.IPv4HeaderLen {
+		p.Release()
 		return
 	}
 	ttl := p.Data[8]
@@ -377,6 +381,9 @@ type lookupIPRoute struct {
 	norouteOut int
 	noroute    uint64
 	ctx        *Context
+	// cache serves repeated destinations without the shared-table lookup;
+	// it invalidates itself on every FIB version change.
+	cache *fib.Cache
 }
 
 func newLookupIPRoute(name string, args []string) (Element, error) {
@@ -402,21 +409,25 @@ func (e *lookupIPRoute) Initialize(ctx *Context) error {
 		return fmt.Errorf("lookupiproute: no FIB in context")
 	}
 	e.ctx = ctx
+	e.cache = fib.NewCache(ctx.FIB)
 	return nil
 }
 
 func (e *lookupIPRoute) Push(port int, p *packet.Packet) {
 	var ip packet.IPv4
 	if _, err := ip.Parse(p.Data); err != nil {
+		p.Release()
 		return
 	}
-	r, ok := e.ctx.FIB.Lookup(ip.Dst)
+	r, ok := e.cache.Lookup(ip.Dst)
 	if !ok {
 		e.noroute++
 		e.trace("no-route", p)
 		if e.norouteOut >= 0 {
 			e.out.Output(e.norouteOut, p)
+			return
 		}
+		p.Release()
 		return
 	}
 	p.Anno.NextHop = r.NextHop
@@ -437,6 +448,12 @@ type toTunnel struct {
 	base
 	tunnel int
 	ctx    *Context
+	// Entry cached against the encap-table version (topology changes are
+	// rare; per-packet resolution must not scan or allocate).
+	cacheEnt   fib.EncapEntry
+	cacheOK    bool
+	cacheV     uint64
+	cacheValid bool
 }
 
 func newToTunnel(name string, args []string) (Element, error) {
@@ -465,14 +482,17 @@ func (e *toTunnel) Initialize(ctx *Context) error {
 func (e *toTunnel) Push(port int, p *packet.Packet) {
 	// Resolve the entry by tunnel index (the address details live in the
 	// encapsulation table; this element owns just the socket identity).
-	for _, ent := range e.ctx.Encap.Entries() {
-		if ent.Tunnel == e.tunnel {
-			e.trace("tunnel", p)
-			e.ctx.Tunnels.SendTunnel(ent, p)
-			return
-		}
+	if v := e.ctx.Encap.Version(); !e.cacheValid || v != e.cacheV {
+		e.cacheEnt, e.cacheOK = e.ctx.Encap.ByTunnel(e.tunnel)
+		e.cacheV, e.cacheValid = v, true
 	}
-	e.trace("no-tunnel", p)
+	if !e.cacheOK {
+		e.trace("no-tunnel", p)
+		p.Release()
+		return
+	}
+	e.trace("tunnel", p)
+	e.ctx.Tunnels.SendTunnel(e.cacheEnt, p)
 }
 
 // encapTunnel maps the next-hop annotation through the encapsulation
@@ -485,6 +505,13 @@ type encapTunnel struct {
 	ctx    *Context
 	misses uint64
 	sent   uint64
+	// Last next-hop resolution, cached against the encap-table version —
+	// steady flows re-resolve the same virtual neighbor every packet.
+	cacheNH    netip.Addr
+	cacheEnt   fib.EncapEntry
+	cacheOK    bool
+	cacheV     uint64
+	cacheValid bool
 }
 
 func newEncapTunnel(name string, args []string) (Element, error) {
@@ -504,10 +531,15 @@ func (e *encapTunnel) Initialize(ctx *Context) error {
 }
 
 func (e *encapTunnel) Push(port int, p *packet.Packet) {
-	ent, ok := e.ctx.Encap.Lookup(p.Anno.NextHop)
+	if v := e.ctx.Encap.Version(); !e.cacheValid || v != e.cacheV || p.Anno.NextHop != e.cacheNH {
+		e.cacheEnt, e.cacheOK = e.ctx.Encap.Lookup(p.Anno.NextHop)
+		e.cacheNH, e.cacheV, e.cacheValid = p.Anno.NextHop, v, true
+	}
+	ent, ok := e.cacheEnt, e.cacheOK
 	if !ok {
 		e.misses++
 		e.trace("encap-miss", p)
+		p.Release()
 		return
 	}
 	e.sent++
@@ -615,9 +647,10 @@ func (e *ipNAPT) Push(port int, p *packet.Packet) {
 		if err != nil {
 			e.drops++
 			e.trace("napt-drop", p)
+			p.Release()
 			return
 		}
-		p.Data = out
+		p.SetData(out) // rewritten datagram; headroom re-established on next Push
 		e.trace("napt-out", p)
 		e.out.Output(0, p)
 	case 1:
@@ -625,9 +658,10 @@ func (e *ipNAPT) Push(port int, p *packet.Packet) {
 		if err != nil || !ok {
 			e.drops++
 			e.trace("napt-unmatched", p)
+			p.Release()
 			return
 		}
-		p.Data = back
+		p.SetData(back)
 		e.trace("napt-in", p)
 		e.out.Output(1, p)
 	}
@@ -676,6 +710,7 @@ func (e *queue) Push(port int, p *packet.Packet) {
 	if len(e.buf) >= e.cap {
 		e.drops++
 		e.trace("tail-drop", p)
+		p.Release()
 		return
 	}
 	e.buf = append(e.buf, p)
@@ -756,6 +791,7 @@ func (e *bandwidthShaper) Push(port int, p *packet.Packet) {
 	if len(e.buf) >= e.cap {
 		e.drops++
 		e.trace("shape-drop", p)
+		p.Release()
 		return
 	}
 	e.buf = append(e.buf, p)
@@ -843,11 +879,13 @@ func (e *linkFail) Push(port int, p *packet.Packet) {
 	if e.active {
 		e.dropped++
 		e.trace("fail-drop", p)
+		p.Release()
 		return
 	}
 	if e.dropProb > 0 && e.ctx != nil && e.ctx.RNG != nil && e.ctx.RNG.Bool(e.dropProb) {
 		e.dropped++
 		e.trace("loss-drop", p)
+		p.Release()
 		return
 	}
 	e.out.Output(0, p)
@@ -903,15 +941,19 @@ func (e *icmpError) Push(port int, p *packet.Packet) {
 		var ic packet.ICMP
 		if _, err := ic.Parse(payload); err == nil &&
 			(ic.Type == packet.ICMPUnreachable || ic.Type == packet.ICMPTimeExceeded) {
+			p.Release()
 			return
 		}
 	}
 	msg := packet.BuildICMPError(e.ctx.LocalAddr.Src, e.typ, e.code, p.Data)
+	ts := p.Anno.Timestamp
+	p.Release() // the error quotes a copy; the offending packet is done
 	if msg == nil {
 		return
 	}
-	q := packet.New(msg)
-	q.Anno.Timestamp = p.Anno.Timestamp
+	q := packet.Get()
+	q.SetData(msg)
+	q.Anno.Timestamp = ts
 	e.trace("icmp-error", q)
 	e.out.Output(0, q)
 }
@@ -985,6 +1027,7 @@ func newStrip(name string, args []string) (Element, error) {
 func (e *strip) Class() string { return "Strip" }
 func (e *strip) Push(port int, p *packet.Packet) {
 	if p.Len() < e.n {
+		p.Release()
 		return
 	}
 	p.Pull(e.n)
@@ -996,6 +1039,7 @@ func (e *strip) Push(port int, p *packet.Packet) {
 type etherEncap struct {
 	base
 	hdr packet.Ethernet
+	raw [packet.EthernetHeaderLen]byte // pre-serialized, pushed per packet
 }
 
 func newEtherEncap(name string, args []string) (Element, error) {
@@ -1014,8 +1058,10 @@ func newEtherEncap(name string, args []string) (Element, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &etherEncap{base: base{name: name},
-		hdr: packet.Ethernet{Type: uint16(t), Src: src, Dst: dst}}, nil
+	e := &etherEncap{base: base{name: name},
+		hdr: packet.Ethernet{Type: uint16(t), Src: src, Dst: dst}}
+	copy(e.raw[:], e.hdr.AppendTo(nil))
+	return e, nil
 }
 
 func parseMAC(s string) (packet.MAC, error) {
@@ -1036,7 +1082,7 @@ func parseMAC(s string) (packet.MAC, error) {
 
 func (e *etherEncap) Class() string { return "EtherEncap" }
 func (e *etherEncap) Push(port int, p *packet.Packet) {
-	p.Push(e.hdr.AppendTo(nil))
+	p.Push(e.raw[:])
 	e.out.Output(0, p)
 }
 

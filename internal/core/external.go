@@ -128,6 +128,7 @@ func (vn *VirtualNode) RegisterVPNClient(clientAddr netip.Addr, key []byte) erro
 // learn the client's outer address, and push the inner packet into the
 // overlay data plane.
 func (vn *VirtualNode) vpnReceive(p *packet.Packet) {
+	defer p.Release() // Open copies out of the frame; p is never retained
 	var outer packet.IPv4
 	seg, err := outer.Parse(p.Data)
 	if err != nil {
@@ -151,7 +152,8 @@ func (vn *VirtualNode) vpnReceive(p *packet.Packet) {
 		}
 		sess.outer = netip.AddrPortFrom(outer.Src, u.SrcPort)
 		sess.seen = true
-		q := packet.New(append([]byte(nil), inner...))
+		q := packet.Get()
+		q.SetData(inner) // Open returned a fresh buffer; adopt it
 		q.Anno.Timestamp = p.Anno.Timestamp
 		vn.Router.Push("fromvpn", 0, q)
 		return
@@ -222,11 +224,13 @@ func NewVPNClient(v *VINI, nodeName string, overlayAddr netip.Addr, key []byte,
 // capture seals an outgoing packet and tunnels it to the server.
 func (c *VPNClient) capture(p *packet.Packet) {
 	frame := c.codec.Seal(p.Data)
+	p.Release()
 	c.proc.SendUDP(c.port, c.server, frame, 64)
 }
 
 // ret handles a frame returning from the server.
 func (c *VPNClient) ret(p *packet.Packet) {
+	defer p.Release()
 	var outer packet.IPv4
 	seg, err := outer.Parse(p.Data)
 	if err != nil {

@@ -271,31 +271,31 @@ func (vn *VirtualNode) tunnelReceive(p *packet.Packet) {
 	var outer packet.IPv4
 	seg, err := outer.Parse(p.Data)
 	if err != nil {
+		p.Release()
 		return
 	}
 	var u packet.UDP
 	inner, err := u.Parse(seg)
 	if err != nil {
+		p.Release()
 		return
 	}
-	idx := -1
-	for _, e := range vn.Encap.Entries() {
-		if e.Remote == outer.Src {
-			idx = e.Tunnel
-			break
-		}
-	}
-	if idx < 0 {
+	ent, ok := vn.Encap.ByRemote(outer.Src)
+	if !ok {
+		p.Release()
 		return // not from a known neighbor; VNET isolation drops it
 	}
+	idx := ent.Tunnel
 	var iip packet.IPv4
 	ipayload, err := iip.Parse(inner)
 	if err != nil {
+		p.Release()
 		return
 	}
-	ifc := vn.ifaces[idx]
 	switch {
 	case iip.Proto == packet.ProtoOSPF && vn.OSPF != nil:
+		// Control traffic: the protocol parses (and may retain) the inner
+		// slices, so the buffer stays out of the pool.
 		vn.OSPF.Receive(idx, iip.Src, ipayload)
 		return
 	case iip.Proto == packet.ProtoUDP:
@@ -305,12 +305,14 @@ func (vn *VirtualNode) tunnelReceive(p *packet.Packet) {
 			return
 		}
 	}
-	q := packet.New(append([]byte(nil), inner...))
-	q.Anno.Timestamp = p.Anno.Timestamp
-	q.Anno.InPort = idx
-	q.Anno.SliceID = vn.slice.id
-	_ = ifc
-	vn.Router.Push("fromtun", 0, q)
+	// Zero-copy decapsulation: strip the outer IP+UDP headers in place.
+	// The freed 28 bytes become headroom for the re-encapsulation at the
+	// next hop, so steady-state forwarding never copies the payload.
+	p.Pull(outer.HeaderLen + packet.UDPHeaderLen)
+	p.Trim(len(inner))
+	p.Anno.InPort = idx
+	p.Anno.SliceID = vn.slice.id
+	vn.Router.Push("fromtun", 0, p)
 }
 
 // sendControl pushes a routing-protocol packet into the per-tunnel Click
@@ -357,7 +359,7 @@ type tunnelTransport VirtualNode
 
 func (t *tunnelTransport) SendTunnel(e fib.EncapEntry, p *packet.Packet) {
 	vn := (*VirtualNode)(t)
-	vn.proc.SendUDP(vn.slice.basePort, netip.AddrPortFrom(e.Remote, e.Port), p.Data, 64)
+	vn.proc.SendUDPPacket(vn.slice.basePort, netip.AddrPortFrom(e.Remote, e.Port), p, 64)
 }
 
 // tapSink implements click.TapSink: deliver overlay packets addressed to

@@ -1,0 +1,64 @@
+package fib
+
+import "net/netip"
+
+// cacheSlots sizes the direct-mapped Cache. The IIAS hot path sees a
+// handful of active destinations per forwarder, so a small power of two
+// keeps the cache in one or two lines.
+const cacheSlots = 16
+
+// Cache is a version-stamped, direct-mapped route cache for a single
+// consumer (one Click LookupIPRoute element, one netem kernel FIB). A hit
+// for a repeated destination costs a version load and an address compare —
+// no lock, no trie walk. Any table mutation bumps the version and the next
+// lookup discards the whole cache, so a flipped route takes effect on the
+// very next packet.
+//
+// A Cache is NOT safe for concurrent use; each consumer owns its own, in
+// the spirit of a per-core flow cache.
+type Cache struct {
+	t       *Table
+	version uint64
+	slots   [cacheSlots]cacheSlot
+}
+
+type cacheSlot struct {
+	dst   netip.Addr
+	route Route
+	ok    bool // table lookup result (negative hits cache too)
+	set   bool
+}
+
+// NewCache returns a cache over t.
+func NewCache(t *Table) *Cache { return &Cache{t: t} }
+
+// Table returns the underlying table.
+func (c *Cache) Table() *Table { return c.t }
+
+// Lookup is equivalent to c.Table().Lookup(dst) but serves repeated
+// destinations from the cache while the table version is unchanged.
+func (c *Cache) Lookup(dst netip.Addr) (Route, bool) {
+	if !dst.Is4() {
+		return Route{}, false
+	}
+	if v := c.t.version.Load(); v != c.version {
+		c.version = v
+		for i := range c.slots {
+			c.slots[i].set = false
+		}
+	}
+	s := &c.slots[slotOf(dst)]
+	if s.set && s.dst == dst {
+		return s.route, s.ok
+	}
+	r, ok := c.t.Lookup(dst)
+	s.dst, s.route, s.ok, s.set = dst, r, ok, true
+	return r, ok
+}
+
+func slotOf(dst netip.Addr) int {
+	b := dst.As4()
+	h := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	h *= 2654435761 // Fibonacci hashing spreads low-entropy suffixes
+	return int(h >> 28)
+}

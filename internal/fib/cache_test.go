@@ -1,0 +1,98 @@
+package fib
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestCacheHitAndInvalidationOnAdd(t *testing.T) {
+	tb := New()
+	nhA := netip.MustParseAddr("192.0.2.1")
+	nhB := netip.MustParseAddr("192.0.2.2")
+	if err := tb.Add(Route{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: nhA, OutPort: 0}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(tb)
+	dst := netip.MustParseAddr("10.1.2.3")
+	r, ok := c.Lookup(dst)
+	if !ok || r.NextHop != nhA {
+		t.Fatalf("lookup = %v %v, want %v", r, ok, nhA)
+	}
+	// Second lookup served from the cache must agree.
+	if r, ok = c.Lookup(dst); !ok || r.NextHop != nhA {
+		t.Fatalf("cached lookup = %v %v", r, ok)
+	}
+	// A more specific route must take effect on the very next lookup.
+	if err := tb.Add(Route{Prefix: netip.MustParsePrefix("10.1.2.0/24"), NextHop: nhB, OutPort: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok = c.Lookup(dst); !ok || r.NextHop != nhB {
+		t.Fatalf("after add: %v %v, want %v", r, ok, nhB)
+	}
+}
+
+func TestCacheInvalidationOnRemoveAndReplace(t *testing.T) {
+	tb := New()
+	nhA := netip.MustParseAddr("192.0.2.1")
+	nhB := netip.MustParseAddr("192.0.2.2")
+	tb.Add(Route{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: nhA, Owner: "rib"})
+	tb.Add(Route{Prefix: netip.MustParsePrefix("10.1.2.0/24"), NextHop: nhB, Owner: "rib"})
+	c := NewCache(tb)
+	dst := netip.MustParseAddr("10.1.2.3")
+	if r, _ := c.Lookup(dst); r.NextHop != nhB {
+		t.Fatalf("initial next hop %v", r.NextHop)
+	}
+	tb.Remove(netip.MustParsePrefix("10.1.2.0/24"))
+	if r, _ := c.Lookup(dst); r.NextHop != nhA {
+		t.Fatalf("after remove: next hop %v, want %v", r.NextHop, nhA)
+	}
+	tb.Replace("rib", []Route{{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: nhB, Owner: "rib"}})
+	if r, ok := c.Lookup(dst); !ok || r.NextHop != nhB {
+		t.Fatalf("after replace: %v %v, want %v", r, ok, nhB)
+	}
+}
+
+func TestCacheNegativeEntryInvalidated(t *testing.T) {
+	tb := New()
+	c := NewCache(tb)
+	dst := netip.MustParseAddr("10.1.2.3")
+	if _, ok := c.Lookup(dst); ok {
+		t.Fatal("empty table produced a route")
+	}
+	// The miss is cached; adding a covering route must invalidate it.
+	nh := netip.MustParseAddr("192.0.2.9")
+	tb.Add(Route{Prefix: netip.MustParsePrefix("10.0.0.0/8"), NextHop: nh})
+	if r, ok := c.Lookup(dst); !ok || r.NextHop != nh {
+		t.Fatalf("negative entry survived add: %v %v", r, ok)
+	}
+}
+
+func TestCacheRejectsNonIPv4(t *testing.T) {
+	tb := New()
+	tb.Add(Route{Prefix: netip.MustParsePrefix("0.0.0.0/0")})
+	c := NewCache(tb)
+	if _, ok := c.Lookup(netip.MustParseAddr("2001:db8::1")); ok {
+		t.Fatal("IPv6 destination matched an IPv4 table")
+	}
+}
+
+func TestCacheManyDestinations(t *testing.T) {
+	// More destinations than cache slots: correctness under eviction.
+	tb := New()
+	for i := 0; i < 64; i++ {
+		tb.Add(Route{
+			Prefix:  netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16),
+			OutPort: i,
+		})
+	}
+	c := NewCache(tb)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 64; i++ {
+			dst := netip.AddrFrom4([4]byte{10, byte(i), 1, 1})
+			r, ok := c.Lookup(dst)
+			if !ok || r.OutPort != i {
+				t.Fatalf("pass %d dst %v: %v %v", pass, dst, r, ok)
+			}
+		}
+	}
+}

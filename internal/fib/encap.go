@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // EncapEntry maps a virtual next hop (the address of a UML-style virtual
@@ -24,25 +25,83 @@ type EncapEntry struct {
 type EncapTable struct {
 	mu      sync.RWMutex
 	entries map[netip.Addr]EncapEntry
+	// byTunnel indexes entries by local tunnel index, so per-packet
+	// transmit paths (ToTunnel) resolve without scanning.
+	byTunnel map[int]EncapEntry
+	// byRemote indexes by public address of the physical node, the reverse
+	// lookup tunnel receive does to identify the ingress tunnel.
+	byRemote map[netip.Addr]EncapEntry
+	// version increments on every mutation so per-element caches
+	// invalidate, mirroring fib.Table.
+	version atomic.Uint64
 }
 
 // NewEncapTable returns an empty encapsulation table.
 func NewEncapTable() *EncapTable {
-	return &EncapTable{entries: make(map[netip.Addr]EncapEntry)}
+	return &EncapTable{
+		entries:  make(map[netip.Addr]EncapEntry),
+		byTunnel: make(map[int]EncapEntry),
+		byRemote: make(map[netip.Addr]EncapEntry),
+	}
 }
+
+// Version returns the mutation counter.
+func (t *EncapTable) Version() uint64 { return t.version.Load() }
 
 // Set installs the mapping for e.NextHop.
 func (t *EncapTable) Set(e EncapEntry) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if old, ok := t.entries[e.NextHop]; ok {
+		delete(t.byTunnel, old.Tunnel)
+	}
 	t.entries[e.NextHop] = e
+	t.byTunnel[e.Tunnel] = e
+	t.reindexRemoteLocked()
+	t.version.Add(1)
 }
 
 // Remove deletes the mapping for nextHop.
 func (t *EncapTable) Remove(nextHop netip.Addr) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if old, ok := t.entries[nextHop]; ok {
+		delete(t.byTunnel, old.Tunnel)
+	}
 	delete(t.entries, nextHop)
+	t.reindexRemoteLocked()
+	t.version.Add(1)
+}
+
+// reindexRemoteLocked rebuilds the reverse index. When several tunnels
+// share a remote (two virtual links to neighbors on one physical node),
+// the lowest next hop wins — the same entry a sorted Entries() scan finds
+// first. Mutations are control-plane rare, so a full rebuild is fine.
+func (t *EncapTable) reindexRemoteLocked() {
+	clear(t.byRemote)
+	for _, e := range t.entries {
+		if ex, ok := t.byRemote[e.Remote]; !ok || e.NextHop.Less(ex.NextHop) {
+			t.byRemote[e.Remote] = e
+		}
+	}
+}
+
+// ByTunnel resolves a local tunnel index to its entry.
+func (t *EncapTable) ByTunnel(tunnel int) (EncapEntry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.byTunnel[tunnel]
+	return e, ok
+}
+
+// ByRemote resolves the public address of a physical neighbor to the
+// entry a sorted Entries() scan would find first (tunnel-ingress
+// identification without the per-packet scan).
+func (t *EncapTable) ByRemote(remote netip.Addr) (EncapEntry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	e, ok := t.byRemote[remote]
+	return e, ok
 }
 
 // Lookup resolves a virtual next hop to its tunnel.

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Route is one FIB entry. NextHop is the virtual interface address of the
@@ -44,13 +45,22 @@ type node struct {
 // Table is a longest-prefix-match IPv4 forwarding table. It is safe for
 // concurrent use: the live overlay looks up from socket readers while the
 // routing process updates routes.
+//
+// Mutations go to an exact binary trie under the mutex; lookups go to an
+// immutable stride-8 multibit trie compiled lazily from it (lock-free via
+// atomic pointer, rebuilt when the version counter moves). Updates are
+// control-plane rare, lookups are per-packet, so the data plane never
+// contends with XORP installing routes.
 type Table struct {
 	mu   sync.RWMutex
 	root node
 	n    int
 	// version increments on every mutation; Click's LookupIPRoute element
-	// caches against this.
-	version uint64
+	// and per-consumer Caches invalidate against it.
+	version atomic.Uint64
+	// compiled is the stride-8 lookup structure for version
+	// compiled.version; nil or stale until the next Lookup rebuilds it.
+	compiled atomic.Pointer[ctable]
 }
 
 // New returns an empty table.
@@ -65,9 +75,7 @@ func (t *Table) Len() int {
 
 // Version returns the mutation counter.
 func (t *Table) Version() uint64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.version
+	return t.version.Load()
 }
 
 func addrBit(a [4]byte, i int) int {
@@ -97,7 +105,7 @@ func (t *Table) Add(r Route) error {
 	}
 	rc := r
 	n.route = &rc
-	t.version++
+	t.version.Add(1)
 	return nil
 }
 
@@ -122,36 +130,119 @@ func (t *Table) Remove(prefix netip.Prefix) bool {
 	}
 	n.route = nil
 	t.n--
-	t.version++
+	t.version.Add(1)
 	return true
 }
 
-// Lookup returns the longest-prefix-match route for dst.
+// Lookup returns the longest-prefix-match route for dst. The hot path is
+// lock-free: four byte-indexed descents through the compiled stride-8
+// trie.
 func (t *Table) Lookup(dst netip.Addr) (Route, bool) {
 	if !dst.Is4() {
 		return Route{}, false
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	a := dst.As4()
-	n := &t.root
+	c := t.compiled.Load()
+	if c == nil || c.version != t.version.Load() {
+		c = t.recompile()
+	}
+	if r := c.lookup(dst.As4()); r != nil {
+		return *r, true
+	}
+	return Route{}, false
+}
+
+// ctable is an immutable stride-8 multibit trie: one level per address
+// byte, with prefixes whose length is not a multiple of 8 expanded across
+// the covered slots at build time (controlled prefix expansion).
+type ctable struct {
+	version uint64
+	root    cnode
+}
+
+type cnode struct {
+	// def is the route whose prefix ends exactly at this node's depth
+	// (length ≡ 0 mod 8), the fallback for every slot.
+	def *Route
+	// routes[i] is the longest expanded route with 1–8 more bits matching
+	// byte value i at this level.
+	routes [256]*Route
+	// children[i] descends to the next byte's level.
+	children [256]*cnode
+}
+
+func (c *ctable) insert(r *Route) {
+	a := r.Prefix.Addr().As4()
+	bits := r.Prefix.Bits()
+	n := &c.root
+	d := 0
+	for ; (d+1)*8 <= bits; d++ {
+		b := a[d]
+		if n.children[b] == nil {
+			n.children[b] = &cnode{}
+		}
+		n = n.children[b]
+	}
+	rem := bits - d*8
+	if rem == 0 {
+		n.def = r
+		return
+	}
+	// Expand the partial byte: every slot sharing the top rem bits.
+	base := int(a[d] & (0xff << (8 - rem)))
+	for i := 0; i < 1<<(8-rem); i++ {
+		if ex := n.routes[base+i]; ex == nil || ex.Prefix.Bits() < bits {
+			n.routes[base+i] = r
+		}
+	}
+}
+
+func (c *ctable) lookup(a [4]byte) *Route {
 	var best *Route
-	for i := 0; ; i++ {
-		if n.route != nil {
-			best = n.route
+	n := &c.root
+	for i := 0; i < 4; i++ {
+		if n.def != nil {
+			best = n.def
 		}
-		if i == 32 {
-			break
+		b := a[i]
+		if r := n.routes[b]; r != nil {
+			best = r
 		}
-		n = n.children[addrBit(a, i)]
+		if n.children[b] == nil {
+			return best
+		}
+		n = n.children[b]
+	}
+	if n.def != nil { // /32 routes live at depth 4
+		best = n.def
+	}
+	return best
+}
+
+// recompile rebuilds the stride-8 trie from the binary trie under the
+// write lock (double-checked, so concurrent lookups build it once).
+func (t *Table) recompile() *ctable {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.version.Load()
+	if c := t.compiled.Load(); c != nil && c.version == v {
+		return c
+	}
+	c := &ctable{version: v}
+	var walk func(n *node)
+	walk = func(n *node) {
 		if n == nil {
-			break
+			return
 		}
+		if n.route != nil {
+			rc := *n.route
+			c.insert(&rc)
+		}
+		walk(n.children[0])
+		walk(n.children[1])
 	}
-	if best == nil {
-		return Route{}, false
-	}
-	return *best, true
+	walk(&t.root)
+	t.compiled.Store(c)
+	return c
 }
 
 // RemoveOwner deletes every route installed by owner, returning the count.
@@ -176,7 +267,7 @@ func (t *Table) RemoveOwner(owner string) int {
 	}
 	walk(&t.root)
 	if removed > 0 {
-		t.version++
+		t.version.Add(1)
 	}
 	return removed
 }
@@ -232,7 +323,7 @@ func (t *Table) Replace(owner string, rs []Route) {
 		walk(n.children[1])
 	}
 	walk(&t.root)
-	t.version++
+	t.version.Add(1)
 	t.mu.Unlock()
 	for _, r := range rs {
 		r.Owner = owner

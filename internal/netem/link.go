@@ -68,6 +68,7 @@ func (l *Link) Stats(dir int) (packets, bytes, drops uint64) {
 // delay, then hands the packet to the far node's receive path.
 func (l *Link) transmit(src *Node, p *packet.Packet) {
 	if l.down {
+		p.Release()
 		return
 	}
 	var d *linkDir
@@ -88,6 +89,7 @@ func (l *Link) transmit(src *Node, p *packet.Packet) {
 	}
 	if d.queued+p.Len() > l.cfg.QueueBytes {
 		d.Drops++
+		p.Release()
 		return
 	}
 	d.queued += p.Len()
@@ -111,7 +113,8 @@ func (l *Link) transmit(src *Node, p *packet.Packet) {
 			d.queued = 0
 		}
 		if l.down {
-			return // failed while in flight
+			p.Release() // failed while in flight
+			return
 		}
 		dst.receive(p, l)
 	})

@@ -23,6 +23,8 @@ type Node struct {
 	addrs map[netip.Addr]bool
 	// routes is the kernel routing table of the underlying network.
 	routes *fib.Table
+	// routeCache fronts routes for the per-packet forwarding path.
+	routeCache *fib.Cache
 	// links are attached physical links, by slot.
 	links []*Link
 	// CPU schedules this node's user processes.
@@ -126,7 +128,9 @@ func (n *Node) InjectLocal(dgram []byte) {
 		n.Drops++
 		return
 	}
-	n.deliverLocal(ip, packet.New(dgram))
+	p := packet.Get()
+	p.SetData(dgram)
+	n.deliverLocal(ip, p)
 }
 
 // AddTapRoute directs kernel packets for prefix into sock's process —
@@ -164,9 +168,7 @@ func (n *Node) ResetAccounting() {
 // (the 10/8 route to tap0), then local delivery, then kernel forwarding.
 func (n *Node) StackSend(dgram []byte) {
 	n.kernelCharge(n.prof.scaled(n.prof.StackCost))
-	p := packet.New(dgram)
-	p.Anno.Timestamp = n.net.loop.Now()
-	n.route(p, true)
+	n.send(dgram)
 }
 
 // receive handles a packet arriving from a link.
@@ -179,6 +181,7 @@ func (n *Node) route(p *packet.Packet, fromLocal bool) {
 	var ip packet.IPv4
 	if _, err := ip.Parse(p.Data); err != nil {
 		n.Drops++
+		p.Release()
 		return
 	}
 	// Tap routes shadow real routes for locally originated traffic and
@@ -197,9 +200,13 @@ func (n *Node) route(p *packet.Packet, fromLocal bool) {
 	}
 	// Kernel IP forwarding on the underlying network. Locally originated
 	// packets are sent, not forwarded: no TTL decrement at the origin.
-	r, ok := n.routes.Lookup(ip.Dst)
+	if n.routeCache == nil {
+		n.routeCache = fib.NewCache(n.routes)
+	}
+	r, ok := n.routeCache.Lookup(ip.Dst)
 	if !ok {
 		n.Drops++
+		p.Release()
 		return
 	}
 	if !fromLocal {
@@ -212,6 +219,7 @@ func (n *Node) route(p *packet.Packet, fromLocal bool) {
 					n.send(reply)
 				}
 			}
+			p.Release()
 			return
 		}
 		packet.SetTTL(p.Data, ip.TTL-1)
@@ -225,6 +233,7 @@ func (n *Node) route(p *packet.Packet, fromLocal bool) {
 func (n *Node) forwardOut(r fib.Route, p *packet.Packet) {
 	if r.OutPort < 0 || r.OutPort >= len(n.links) {
 		n.Drops++
+		p.Release()
 		return
 	}
 	link := n.links[r.OutPort]
@@ -233,6 +242,9 @@ func (n *Node) forwardOut(r fib.Route, p *packet.Packet) {
 }
 
 // deliverLocal hands a packet addressed to this node to its consumer.
+// Delivered packets are never Released here: stack handlers receive (and
+// may retain) p.Data, so the buffer must stay out of the pool and fall to
+// the garbage collector. Only undeliverable packets are released.
 func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 	n.kernelCharge(n.prof.scaled(n.prof.StackCost))
 	switch ip.Proto {
@@ -241,6 +253,7 @@ func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 		payload := p.Data[ip.HeaderLen:]
 		if _, err := u.Parse(payload); err != nil {
 			n.Drops++
+			p.Release()
 			return
 		}
 		if s, ok := n.udpPorts[u.DstPort]; ok {
@@ -261,11 +274,13 @@ func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 		if reply := packet.BuildICMPError(ip.Dst, packet.ICMPUnreachable, 3, p.Data); reply != nil {
 			n.send(reply)
 		}
+		p.Release()
 	case packet.ProtoTCP:
 		var th packet.TCP
 		payload := p.Data[ip.HeaderLen:]
 		if _, err := th.Parse(payload); err != nil {
 			n.Drops++
+			p.Release()
 			return
 		}
 		if h, ok := n.stackTCP[th.DstPort]; ok {
@@ -277,21 +292,31 @@ func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 			return
 		}
 		n.Drops++
+		p.Release()
 	case packet.ProtoICMP:
 		if n.icmpTap != nil {
 			n.icmpTap(p.Data)
 			return
 		}
 		n.Drops++
+		p.Release()
 	default:
 		n.Drops++
+		p.Release()
 	}
 }
 
 // send transmits a fully-formed IP datagram from this node, used by both
 // kernel apps and processes after their CPU cost is charged.
 func (n *Node) send(dgram []byte) {
-	p := packet.New(dgram)
+	p := packet.Get()
+	p.SetData(dgram)
+	n.sendPacket(p)
+}
+
+// sendPacket transmits an already-wrapped datagram, the zero-copy path
+// used by in-place tunnel encapsulation (Process.SendUDPPacket).
+func (n *Node) sendPacket(p *packet.Packet) {
 	p.Anno.Timestamp = n.net.loop.Now()
 	n.route(p, true)
 }

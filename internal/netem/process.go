@@ -115,6 +115,7 @@ func (s *Socket) enqueue(p *packet.Packet) {
 	prof := s.proc.node.prof
 	if s.bufB+p.Len() > prof.SocketBuf {
 		s.Drops++
+		p.Release()
 		return
 	}
 	s.buf = append(s.buf, p)
@@ -126,10 +127,23 @@ func (s *Socket) enqueue(p *packet.Packet) {
 
 // SendUDP transmits payload from the process's port to dst — Click's
 // sendto on a tunnel socket. The CPU cost was charged when the packet
-// that triggered this send was processed.
+// that triggered this send was processed. The payload is copied (into
+// pooled headroom), so callers may reuse it.
 func (p *Process) SendUDP(srcPort uint16, dst netip.AddrPort, payload []byte, ttl uint8) {
-	d := packet.BuildUDP(p.node.addr, dst.Addr(), srcPort, dst.Port(), ttl, payload)
-	p.node.send(d)
+	pkt := packet.Get()
+	pkt.SetData(payload)
+	p.SendUDPPacket(srcPort, dst, pkt, ttl)
+}
+
+// SendUDPPacket is SendUDP for a packet the caller owns: the UDP and IPv4
+// headers are written into the packet's headroom in place (no copy when
+// the packet has DefaultHeadroom available, as tunnel-decapsulated
+// packets do). Ownership transfers to the substrate.
+func (p *Process) SendUDPPacket(srcPort uint16, dst netip.AddrPort, pkt *packet.Packet, ttl uint8) {
+	src := p.node.addr
+	packet.EncapUDP(pkt, src, dst.Addr(), srcPort, dst.Port())
+	packet.EncapIPv4(pkt, &packet.IPv4{TTL: ttl, Proto: packet.ProtoUDP, Src: src, Dst: dst.Addr()})
+	p.node.sendPacket(pkt)
 }
 
 // SendIP transmits a raw IP datagram from this process (tap0 writes).

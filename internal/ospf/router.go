@@ -96,10 +96,10 @@ type neighbor struct {
 	addr      netip.Addr // neighbor's interface address (hello source)
 	ifc       *Interface
 	state     neighborState
-	deadTimer *sim.Timer
+	deadTimer sim.Timer
 	// pendingAcks maps LSA keys awaiting this neighbor's ack.
 	pendingAcks map[Key]LSA
-	rxmtTimer   *sim.Timer
+	rxmtTimer   sim.Timer
 }
 
 // NeighborInfo is the externally visible adjacency state.
@@ -128,7 +128,7 @@ type Router struct {
 	onRoutes   func([]fib.Route)
 	spfPending bool
 	started    bool
-	helloTimer *sim.Timer
+	helloTimer sim.Timer
 	// SPFRuns counts SPF executions, for convergence diagnostics.
 	SPFRuns int
 }
@@ -208,14 +208,14 @@ func (r *Router) ageSweep() {
 // Stop cancels timers; the router stops speaking.
 func (r *Router) Stop() {
 	r.started = false
-	if r.helloTimer != nil {
+	if !r.helloTimer.IsZero() {
 		r.helloTimer.Stop()
 	}
 	for _, nb := range r.neighbors {
-		if nb.deadTimer != nil {
+		if !nb.deadTimer.IsZero() {
 			nb.deadTimer.Stop()
 		}
-		if nb.rxmtTimer != nil {
+		if !nb.rxmtTimer.IsZero() {
 			nb.rxmtTimer.Stop()
 		}
 	}
@@ -325,7 +325,7 @@ func (r *Router) handleHello(ifIndex int, src netip.Addr, id uint32, h Hello) {
 	}
 	nb.addr = src
 	// Reset the dead timer.
-	if nb.deadTimer != nil {
+	if !nb.deadTimer.IsZero() {
 		nb.deadTimer.Stop()
 	}
 	nb.deadTimer = r.clock.Schedule(r.cfg.Dead, func() { r.neighborDead(ifIndex, nb) })
@@ -371,7 +371,7 @@ func (r *Router) neighborDead(ifIndex int, nb *neighbor) {
 		return
 	}
 	delete(r.neighbors, ifIndex)
-	if nb.rxmtTimer != nil {
+	if !nb.rxmtTimer.IsZero() {
 		nb.rxmtTimer.Stop()
 	}
 	r.originate()
@@ -432,13 +432,13 @@ func (r *Router) sendLSU(nb *neighbor, lsas []LSA) {
 		nb.pendingAcks[l.Key()] = l
 	}
 	r.tr.SendRouting(nb.ifc.Index, MarshalLSU(r.cfg.RouterID, LSU{LSAs: lsas}))
-	if nb.rxmtTimer == nil {
+	if nb.rxmtTimer.IsZero() {
 		nb.rxmtTimer = r.clock.Schedule(r.cfg.Rxmt, func() { r.retransmit(nb) })
 	}
 }
 
 func (r *Router) retransmit(nb *neighbor) {
-	nb.rxmtTimer = nil
+	nb.rxmtTimer = sim.Timer{}
 	if len(nb.pendingAcks) == 0 || nb.state != nFull {
 		return
 	}

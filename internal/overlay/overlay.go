@@ -346,7 +346,7 @@ func (n *Node) actorClock() sim.Clock {
 type actorClock struct{ n *Node }
 
 func (c *actorClock) Now() time.Duration { return c.n.clock.Now() }
-func (c *actorClock) Schedule(d time.Duration, fn func()) *sim.Timer {
+func (c *actorClock) Schedule(d time.Duration, fn func()) sim.Timer {
 	return c.n.clock.Schedule(d, func() { c.n.post(fn) })
 }
 

@@ -108,19 +108,35 @@ func (h *IPv4) Parse(b []byte) ([]byte, error) {
 // TotalLen and Checksum. HeaderLen/Checksum fields in h are ignored.
 func (h *IPv4) Marshal(payload []byte) []byte {
 	b := make([]byte, IPv4HeaderLen+len(payload))
+	copy(b[IPv4HeaderLen:], payload)
+	h.Put(b)
+	return b
+}
+
+// Put serializes the header (IHL=5) into the first IPv4HeaderLen bytes of
+// dgram, which must already hold the payload at dgram[IPv4HeaderLen:].
+// TotalLen covers all of dgram; the checksum is computed in place. This is
+// the zero-allocation path behind Marshal and EncapIPv4.
+func (h *IPv4) Put(dgram []byte) {
+	b := dgram[:IPv4HeaderLen]
 	b[0] = 4<<4 | 5
 	b[1] = h.TOS
-	binary.BigEndian.PutUint16(b[2:4], uint16(IPv4HeaderLen+len(payload)))
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(dgram)))
 	binary.BigEndian.PutUint16(b[4:6], h.ID)
 	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
 	b[8] = h.TTL
 	b[9] = h.Proto
+	b[10], b[11] = 0, 0
 	s, d := h.Src.As4(), h.Dst.As4()
 	copy(b[12:16], s[:])
 	copy(b[16:20], d[:])
-	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:IPv4HeaderLen]))
-	copy(b[IPv4HeaderLen:], payload)
-	return b
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b))
+}
+
+// EncapIPv4 prepends an IPv4 header to p in place, using headroom when
+// available. The packet's current contents become the payload.
+func EncapIPv4(p *Packet, h *IPv4) {
+	h.Put(p.Extend(IPv4HeaderLen))
 }
 
 // SetTTL rewrites the TTL in a serialized IPv4 datagram in place and
@@ -169,16 +185,31 @@ func (h *UDP) Parse(b []byte) ([]byte, error) {
 // pseudo-header for src/dst.
 func (h *UDP) Marshal(src, dst netip.Addr, payload []byte) []byte {
 	b := make([]byte, UDPHeaderLen+len(payload))
-	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
-	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
-	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
 	copy(b[UDPHeaderLen:], payload)
-	ck := transportChecksum(src, dst, ProtoUDP, b)
+	h.Put(src, dst, b)
+	return b
+}
+
+// Put serializes the header into the first UDPHeaderLen bytes of seg,
+// which must already hold the payload at seg[UDPHeaderLen:]. Length covers
+// all of seg; the pseudo-header checksum is computed in place.
+func (h *UDP) Put(src, dst netip.Addr, seg []byte) {
+	binary.BigEndian.PutUint16(seg[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(seg[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(seg[4:6], uint16(len(seg)))
+	seg[6], seg[7] = 0, 0
+	ck := transportChecksum(src, dst, ProtoUDP, seg)
 	if ck == 0 {
 		ck = 0xffff
 	}
-	binary.BigEndian.PutUint16(b[6:8], ck)
-	return b
+	binary.BigEndian.PutUint16(seg[6:8], ck)
+}
+
+// EncapUDP prepends a UDP header to p in place; the current contents
+// become the UDP payload. Wire bytes match UDP.Marshal exactly.
+func EncapUDP(p *Packet, src, dst netip.Addr, sport, dport uint16) {
+	h := UDP{SrcPort: sport, DstPort: dport}
+	h.Put(src, dst, p.Extend(UDPHeaderLen))
 }
 
 // VerifyChecksum checks a parsed UDP segment against the pseudo-header.

@@ -4,12 +4,19 @@
 // into caller-owned structs, no hidden allocation — because the data plane
 // (internal/click) handles every packet as raw bytes exactly as the Click
 // software router does.
+//
+// Packets use a Click-style headroom layout: Data is a window into a
+// larger backing buffer, so encapsulation (Push) and decapsulation (Pull)
+// on the forwarding fast path are pointer arithmetic, not copy-allocate.
+// A sync.Pool (Get/Release) recycles packet buffers so the steady-state
+// IIAS forwarding path runs at zero allocations per packet.
 package packet
 
 import (
 	"encoding/binary"
 	"fmt"
 	"net/netip"
+	"sync"
 	"time"
 )
 
@@ -39,14 +46,42 @@ const (
 // MTU is the Ethernet payload limit the substrate enforces.
 const MTU = 1500
 
+// DefaultHeadroom is the front reserve on owned buffers: two rounds of
+// IPv4+UDP tunnel encapsulation (2×28) plus an Ethernet header fit
+// without sliding the payload.
+const DefaultHeadroom = 64
+
+// poolBufSize is the backing-array size for pooled packets: headroom plus
+// an encapsulated MTU-sized datagram with slack.
+const poolBufSize = DefaultHeadroom + 2048
+
 // Packet is the unit every data-plane component exchanges: a byte buffer
 // plus out-of-band annotations, mirroring Click's packet annotations.
 // Data begins at the outermost header currently meaningful to the holder
 // (an Ethernet frame at a tap device, an IPv4 datagram inside the
 // forwarder, a UDP-encapsulated datagram on a tunnel).
+//
+// Ownership: a packet has exactly one owner at a time. Pushing a packet
+// into an element or transport transfers ownership; an owner that drops a
+// packet instead of handing it on calls Release. See DESIGN.md "Packet
+// lifecycle & ownership".
 type Packet struct {
 	Data []byte
 	Anno Annotations
+
+	// buf is the backing storage Data points into when own is set.
+	// Pooled packets keep buf across Release/Get cycles.
+	buf []byte
+	// off is the index of Data[0] within buf (valid only when own).
+	off int
+	// own records that Data == buf[off:off+len(Data)], enabling the
+	// headroom fast path in Push/Extend/Pull.
+	own bool
+	// pooled marks packets obtained from Get; only these return to the
+	// pool on Release.
+	pooled bool
+	// released guards against double Release and use-after-release.
+	released bool
 }
 
 // Annotations carries per-packet metadata that never appears on the wire.
@@ -69,75 +104,199 @@ type Annotations struct {
 	Hops int
 }
 
-// New returns a packet wrapping data (not copied).
+// New returns a packet wrapping data (not copied). The packet does not
+// own headroom; the first Push migrates it onto an owned buffer.
 func New(data []byte) *Packet { return &Packet{Data: data} }
 
-// Clone deep-copies the packet, as Tee does in Click.
+var pktPool = sync.Pool{
+	New: func() any { return &Packet{buf: make([]byte, poolBufSize)} },
+}
+
+// Get returns an empty pooled packet with DefaultHeadroom reserved.
+// The caller owns it until it is handed off or Released.
+func Get() *Packet {
+	p := pktPool.Get().(*Packet)
+	p.off = DefaultHeadroom
+	p.Data = p.buf[p.off:p.off]
+	p.own = true
+	p.pooled = true
+	p.released = false
+	p.Anno = Annotations{}
+	return p
+}
+
+// Release returns a pooled packet to the pool. Releasing a wrapped
+// (non-pooled) packet is a no-op — the garbage collector reclaims it —
+// so drop paths may call Release unconditionally. Releasing the same
+// pooled packet twice panics: it means two owners believed they held it.
+func (p *Packet) Release() {
+	if !p.pooled {
+		return
+	}
+	if p.released {
+		panic("packet: double release (two owners dropped the same packet)")
+	}
+	p.released = true
+	p.Data = nil
+	pktPool.Put(p)
+}
+
+// Released reports whether a pooled packet has been returned to the pool.
+// The data plane uses it as a cheap use-after-release guard.
+func (p *Packet) Released() bool { return p.released }
+
+// Clone deep-copies the packet, as Tee does in Click. The clone is a
+// pooled packet with fresh headroom; the caller owns it.
 func (p *Packet) Clone() *Packet {
-	q := &Packet{Data: append([]byte(nil), p.Data...), Anno: p.Anno}
+	q := Get()
+	n := len(p.Data)
+	if cap(q.buf) < DefaultHeadroom+n {
+		q.buf = make([]byte, DefaultHeadroom+n)
+	}
+	q.off = DefaultHeadroom
+	q.Data = q.buf[q.off : q.off+n]
+	copy(q.Data, p.Data)
+	q.Anno = p.Anno
 	return q
 }
 
 // Len returns the current buffer length.
 func (p *Packet) Len() int { return len(p.Data) }
 
-// Pull removes n bytes from the front (decapsulation). It panics if the
+// Headroom reports the bytes available for Push without copying.
+func (p *Packet) Headroom() int {
+	if !p.own {
+		return 0
+	}
+	return p.off
+}
+
+// Pull removes n bytes from the front (decapsulation). On owned buffers
+// the removed region becomes headroom for a later Push. It panics if the
 // buffer is shorter than n; callers validate with header parsing first.
-func (p *Packet) Pull(n int) { p.Data = p.Data[n:] }
+func (p *Packet) Pull(n int) {
+	p.Data = p.Data[n:]
+	if p.own {
+		p.off += n
+	}
+}
+
+// Trim shortens the packet to its first n bytes (e.g. dropping padding
+// beyond an inner datagram after decapsulation).
+func (p *Packet) Trim(n int) { p.Data = p.Data[:n] }
+
+// Extend prepends n uninitialized bytes and returns the new data slice,
+// whose first n bytes are the caller's to fill (in-place header
+// serialization). When headroom is available this is pointer arithmetic.
+func (p *Packet) Extend(n int) []byte {
+	if p.own && p.off >= n {
+		p.off -= n
+		p.Data = p.buf[p.off : p.off+n+len(p.Data)]
+		return p.Data
+	}
+	p.grow(n)
+	return p.Data
+}
 
 // Push prepends hdr to the buffer (encapsulation).
 func (p *Packet) Push(hdr []byte) {
-	buf := make([]byte, len(hdr)+len(p.Data))
-	copy(buf, hdr)
-	copy(buf[len(hdr):], p.Data)
-	p.Data = buf
+	p.Extend(len(hdr))
+	copy(p.Data, hdr)
+}
+
+// SetData replaces the packet's contents with b (not copied). Ownership
+// of the backing buffer's layout is dropped; a later Push re-establishes
+// it by migrating the data into the owned buffer with fresh headroom.
+func (p *Packet) SetData(b []byte) {
+	p.Data = b
+	p.own = false
+}
+
+// grow re-homes the data into the owned buffer (reused when large
+// enough, reallocated otherwise) leaving DefaultHeadroom plus n bytes of
+// front space, with the first n exposed in Data.
+func (p *Packet) grow(n int) {
+	old := len(p.Data)
+	need := DefaultHeadroom + n + old
+	buf := p.buf
+	if cap(buf) < need {
+		c := 2 * cap(buf)
+		if c < need {
+			c = need
+		}
+		buf = make([]byte, c)
+	}
+	buf = buf[:cap(buf)]
+	copy(buf[DefaultHeadroom+n:], p.Data) // memmove: may overlap p.buf
+	p.buf = buf
+	p.off = DefaultHeadroom
+	p.Data = buf[DefaultHeadroom : DefaultHeadroom+n+old]
+	p.own = true
+}
+
+// csumAdd folds v into a running 64-bit ones-complement sum with
+// end-around carry.
+func csumAdd(sum, v uint64) uint64 {
+	sum += v
+	if sum < v {
+		sum++
+	}
+	return sum
+}
+
+// csumWords adds b to sum as a sequence of big-endian 16-bit words,
+// folding 8 bytes per iteration (RFC 1071 permits any accumulator width;
+// the end-around carry keeps ones-complement semantics). An odd trailing
+// byte is padded with zero.
+func csumWords(sum uint64, b []byte) uint64 {
+	for len(b) >= 8 {
+		sum = csumAdd(sum, binary.BigEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		sum = csumAdd(sum, uint64(binary.BigEndian.Uint32(b))<<32)
+		b = b[4:]
+	}
+	if len(b) >= 2 {
+		sum = csumAdd(sum, uint64(binary.BigEndian.Uint16(b))<<48)
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum = csumAdd(sum, uint64(b[0])<<56)
+	}
+	return sum
+}
+
+// csumFold reduces a 64-bit ones-complement sum to 16 bits.
+func csumFold(sum uint64) uint16 {
+	sum = (sum >> 32) + (sum & 0xffffffff)
+	sum = (sum >> 32) + (sum & 0xffffffff)
+	sum = (sum >> 16) + (sum & 0xffff)
+	sum = (sum >> 16) + (sum & 0xffff)
+	return uint16(sum)
 }
 
 // Checksum computes the Internet checksum (RFC 1071) over b.
 func Checksum(b []byte) uint16 {
-	var sum uint32
-	for len(b) >= 2 {
-		sum += uint32(binary.BigEndian.Uint16(b))
-		b = b[2:]
-	}
-	if len(b) == 1 {
-		sum += uint32(b[0]) << 8
-	}
-	for sum>>16 != 0 {
-		sum = (sum & 0xffff) + (sum >> 16)
-	}
-	return ^uint16(sum)
+	return ^csumFold(csumWords(0, b))
 }
 
 // pseudoHeaderSum computes the IPv4 pseudo-header partial sum used by UDP
 // and TCP checksums.
-func pseudoHeaderSum(src, dst netip.Addr, proto uint8, length int) uint32 {
-	var sum uint32
+func pseudoHeaderSum(src, dst netip.Addr, proto uint8, length int) uint64 {
+	var sum uint64
 	s, d := src.As4(), dst.As4()
-	sum += uint32(binary.BigEndian.Uint16(s[0:2]))
-	sum += uint32(binary.BigEndian.Uint16(s[2:4]))
-	sum += uint32(binary.BigEndian.Uint16(d[0:2]))
-	sum += uint32(binary.BigEndian.Uint16(d[2:4]))
-	sum += uint32(proto)
-	sum += uint32(length)
+	sum = csumAdd(sum, uint64(binary.BigEndian.Uint32(s[:])))
+	sum = csumAdd(sum, uint64(binary.BigEndian.Uint32(d[:])))
+	sum = csumAdd(sum, uint64(proto))
+	sum = csumAdd(sum, uint64(uint16(length)))
 	return sum
 }
 
 // transportChecksum computes a UDP/TCP checksum including pseudo-header.
 func transportChecksum(src, dst netip.Addr, proto uint8, segment []byte) uint16 {
 	sum := pseudoHeaderSum(src, dst, proto, len(segment))
-	b := segment
-	for len(b) >= 2 {
-		sum += uint32(binary.BigEndian.Uint16(b))
-		b = b[2:]
-	}
-	if len(b) == 1 {
-		sum += uint32(b[0]) << 8
-	}
-	for sum>>16 != 0 {
-		sum = (sum & 0xffff) + (sum >> 16)
-	}
-	return ^uint16(sum)
+	return ^csumFold(csumWords(sum, segment))
 }
 
 // ParseError describes a malformed header.

@@ -81,7 +81,7 @@ type Router struct {
 	table    map[netip.Prefix]*entry
 	onRoutes func([]fib.Route)
 	started  bool
-	timer    *sim.Timer
+	timer    sim.Timer
 }
 
 // New creates a router; call AddInterface then Start.
@@ -123,7 +123,7 @@ func (r *Router) Start() {
 // Stop cancels the periodic timer.
 func (r *Router) Stop() {
 	r.started = false
-	if r.timer != nil {
+	if !r.timer.IsZero() {
 		r.timer.Stop()
 	}
 }

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerStopRemovesEventImmediately(t *testing.T) {
+	l := NewLoop(1)
+	fired := false
+	tm := l.Schedule(time.Second, func() { fired = true })
+	if l.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", l.Pending())
+	}
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	// The event must leave the queue at Stop time (freeing its callback),
+	// not linger as a dead entry until its deadline.
+	if l.Pending() != 0 {
+		t.Fatalf("pending after Stop = %d, want 0", l.Pending())
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	l.RunAll()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopMiddleKeepsOrder(t *testing.T) {
+	l := NewLoop(1)
+	var order []int
+	var tms [5]Timer
+	for i := 0; i < 5; i++ {
+		i := i
+		tms[i] = l.Schedule(time.Duration(i+1)*time.Millisecond, func() { order = append(order, i) })
+	}
+	tms[1].Stop()
+	tms[3].Stop()
+	l.RunAll()
+	want := []int{0, 2, 4}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTimerStopAfterFireIsStale(t *testing.T) {
+	l := NewLoop(1)
+	fired1, fired2 := false, false
+	tm1 := l.Schedule(time.Millisecond, func() { fired1 = true })
+	l.RunAll()
+	if !fired1 {
+		t.Fatal("timer 1 did not fire")
+	}
+	// tm1's event is recycled; the next Schedule likely reuses it. The
+	// generation stamp must keep the stale handle from cancelling the new
+	// event.
+	l.Schedule(time.Millisecond, func() { fired2 = true })
+	if tm1.Stop() {
+		t.Fatal("stale Stop returned true")
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("stale Stop removed the recycled event (pending=%d)", l.Pending())
+	}
+	l.RunAll()
+	if !fired2 {
+		t.Fatal("recycled timer did not fire")
+	}
+}
+
+func TestTimerStopDuringFireIsNoOp(t *testing.T) {
+	l := NewLoop(1)
+	var self Timer
+	ok := true
+	self = l.Schedule(time.Millisecond, func() {
+		// The event is recycled before the callback runs, so a callback
+		// stopping its own timer must be a harmless no-op.
+		if self.Stop() {
+			ok = false
+		}
+	})
+	l.RunAll()
+	if !ok {
+		t.Fatal("Stop from inside the firing callback returned true")
+	}
+}
+
+func TestTimerZeroValue(t *testing.T) {
+	var tm Timer
+	if !tm.IsZero() {
+		t.Fatal("zero Timer not IsZero")
+	}
+	if tm.Stop() {
+		t.Fatal("zero Timer Stop returned true")
+	}
+	l := NewLoop(1)
+	tm = l.Schedule(time.Millisecond, func() {})
+	if tm.IsZero() {
+		t.Fatal("scheduled Timer reports IsZero")
+	}
+}
+
+func TestEventFreeListReuse(t *testing.T) {
+	l := NewLoop(1)
+	n := 0
+	// Repeated schedule/fire cycles must not accumulate state: the heap
+	// stays bounded and events are recycled through the free list.
+	for i := 0; i < 1000; i++ {
+		l.Schedule(time.Microsecond, func() { n++ })
+		l.RunAll()
+	}
+	if n != 1000 {
+		t.Fatalf("fired %d, want 1000", n)
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", l.Pending())
+	}
+}

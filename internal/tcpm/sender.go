@@ -31,7 +31,7 @@ type Sender struct {
 	srtt, rttvar time.Duration
 	rto          time.Duration
 	backoff      int
-	rtoTimer     *sim.Timer
+	rtoTimer     sim.Timer
 	// rttSeq/rttAt sample one segment per window (Karn's algorithm:
 	// never sample retransmitted segments).
 	rttSeq   uint32
@@ -79,7 +79,7 @@ func (s *Sender) Start(total uint64) {
 // Stop abandons the transfer.
 func (s *Sender) Stop() {
 	s.state = "done"
-	if s.rtoTimer != nil {
+	if !s.rtoTimer.IsZero() {
 		s.rtoTimer.Stop()
 	}
 }
@@ -243,7 +243,7 @@ func (s *Sender) pump() {
 			s.rttValid = true
 		}
 		s.lastSend = now
-		if s.rtoTimer == nil {
+		if s.rtoTimer.IsZero() {
 			s.armRTO()
 		}
 	}
@@ -298,14 +298,14 @@ func (s *Sender) armRTO() {
 }
 
 func (s *Sender) clearRTO() {
-	if s.rtoTimer != nil {
+	if !s.rtoTimer.IsZero() {
 		s.rtoTimer.Stop()
-		s.rtoTimer = nil
+		s.rtoTimer = sim.Timer{}
 	}
 }
 
 func (s *Sender) onRTO() {
-	s.rtoTimer = nil
+	s.rtoTimer = sim.Timer{}
 	if s.state == "done" {
 		return
 	}

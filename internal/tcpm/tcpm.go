@@ -82,7 +82,7 @@ type Receiver struct {
 	Arrivals []Arrival
 	// delayed-ACK state: one un-ACKed segment allowed.
 	ackPending bool
-	ackTimer   *sim.Timer
+	ackTimer   sim.Timer
 }
 
 // NewReceiver creates a listening endpoint; wire its Deliver to the
@@ -167,9 +167,9 @@ func (r *Receiver) scheduleAck() {
 }
 
 func (r *Receiver) sendAckNow() {
-	if r.ackTimer != nil {
+	if !r.ackTimer.IsZero() {
 		r.ackTimer.Stop()
-		r.ackTimer = nil
+		r.ackTimer = sim.Timer{}
 	}
 	r.ackPending = false
 	r.sendFlags(packet.TCPAck, 0, r.rcvNxt)

@@ -40,7 +40,7 @@ type Traceroute struct {
 	Done    bool
 	current int
 	sentAt  time.Duration
-	timer   *sim.Timer
+	timer   sim.Timer
 	onDone  func()
 }
 
@@ -104,7 +104,7 @@ func (tr *Traceroute) handleError(from netip.Addr, icmpType uint8, quote []byte)
 	if dport != tr.cfg.Port+uint16(tr.current) {
 		return false
 	}
-	if tr.timer != nil {
+	if !tr.timer.IsZero() {
 		tr.timer.Stop()
 	}
 	tr.Hops = append(tr.Hops, Hop{TTL: tr.current, Addr: from, RTT: tr.loop.Now() - tr.sentAt})

@@ -87,7 +87,7 @@ type Ping struct {
 	id      uint16
 	seq     uint16
 	sent    map[uint16]time.Duration
-	timers  map[uint16]*sim.Timer
+	timers  map[uint16]sim.Timer
 	stopped bool
 	// RTTs aggregates in milliseconds (ping's min/avg/max/mdev line).
 	RTTs sim.Stats
@@ -112,7 +112,7 @@ func (h *ICMPHost) StartPing(loop *sim.Loop, cfg PingConfig) *Ping {
 	}
 	nextPingID++
 	p := &Ping{host: h, loop: loop, cfg: cfg, id: nextPingID,
-		sent: make(map[uint16]time.Duration), timers: make(map[uint16]*sim.Timer)}
+		sent: make(map[uint16]time.Duration), timers: make(map[uint16]sim.Timer)}
 	h.clients[p.id] = p
 	p.tick()
 	return p
