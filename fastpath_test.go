@@ -91,6 +91,55 @@ func TestForwardingFastPathZeroAlloc(t *testing.T) {
 	}
 }
 
+// extRelease models the egress node's hand-off of a post-NAT packet to
+// the node's real network stack: count and recycle.
+type extRelease struct{ sent int }
+
+func (e *extRelease) SendExternal(p *packet.Packet) {
+	e.sent++
+	p.Release()
+}
+
+// TestNAPTEgressZeroAlloc guards the egress NAPT path: once a flow's
+// binding exists, in-place translation (RFC 1624 incremental checksums,
+// pooled buffer kept) through IPNAPT -> ToExternal must run at 0
+// allocations per packet.
+func TestNAPTEgressZeroAlloc(t *testing.T) {
+	loop := sim.NewLoop(1)
+	ext := &extRelease{}
+	ctx := &click.Context{Clock: loop, RNG: loop.RNG(), External: ext}
+	r, err := click.ParseConfig(ctx, `
+		napt :: IPNAPT(198.32.154.226);
+		ext :: ToExternal;
+		napt[0] -> ext;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	tmpl := packet.BuildUDP(netip.MustParseAddr("10.1.0.9"), netip.MustParseAddr("128.112.139.43"),
+		4321, 53, 64, make([]byte, 1400))
+	egress := func() {
+		p := packet.Get()
+		copy(p.Extend(len(tmpl)), tmpl)
+		r.Push("napt", 0, p)
+	}
+	// Warm up: the first packet allocates the flow's binding; later
+	// packets of the same flow hit it.
+	for i := 0; i < 32; i++ {
+		egress()
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(200, egress); allocs != 0 {
+		t.Fatalf("NAPT egress path: %.1f allocs/packet, want 0", allocs)
+	}
+	if ext.sent == 0 {
+		t.Fatal("no packets reached the external sink")
+	}
+}
+
 // TestFastPathEncapsulationBytes pins the in-place encapsulation output to
 // the allocating reference builders, so the zero-alloc path cannot drift
 // from the wire format.

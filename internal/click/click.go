@@ -243,6 +243,27 @@ func (r *Router) Initialize() error {
 	return nil
 }
 
+// Auditor is implemented by elements that keep derived per-element
+// state (version-stamped route or encap caches). Audit checks that
+// state against the authoritative shared tables and returns a
+// description of the first inconsistency. The simulation invariant
+// engine audits every element at each quiescent point.
+type Auditor interface {
+	Audit() error
+}
+
+// Audit runs every Auditor element's self-check in declaration order.
+func (r *Router) Audit() error {
+	for _, name := range r.order {
+		if a, ok := r.elements[name].(Auditor); ok {
+			if err := a.Audit(); err != nil {
+				return fmt.Errorf("click: element %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
 // Element returns the named element.
 func (r *Router) Element(name string) (Element, bool) {
 	e, ok := r.elements[name]

@@ -435,6 +435,11 @@ func (e *lookupIPRoute) Push(port int, p *packet.Packet) {
 	e.out.Output(r.OutPort, p)
 }
 
+// Audit checks the per-element route cache against the FIB's reference
+// trie (the stale-cache bug class: a route flip whose invalidation was
+// skipped keeps forwarding on the old path).
+func (e *lookupIPRoute) Audit() error { return e.cache.Verify() }
+
 func (e *lookupIPRoute) Handler(name, value string) (string, error) {
 	if name == "noroute" && value == "" {
 		return strconv.FormatUint(e.noroute, 10), nil
@@ -495,6 +500,20 @@ func (e *toTunnel) Push(port int, p *packet.Packet) {
 	e.ctx.Tunnels.SendTunnel(e.cacheEnt, p)
 }
 
+// Audit re-resolves the cached encap entry when the cache claims to be
+// current and reports any drift from the table.
+func (e *toTunnel) Audit() error {
+	if !e.cacheValid || e.cacheV != e.ctx.Encap.Version() {
+		return nil // stale stamp; next Push re-resolves
+	}
+	ent, ok := e.ctx.Encap.ByTunnel(e.tunnel)
+	if ok != e.cacheOK || (ok && ent != e.cacheEnt) {
+		return fmt.Errorf("totunnel %d: cached entry %+v,%v != table %+v,%v",
+			e.tunnel, e.cacheEnt, e.cacheOK, ent, ok)
+	}
+	return nil
+}
+
 // encapTunnel maps the next-hop annotation through the encapsulation
 // table. When the output port matching the entry's tunnel index is
 // connected, the packet is emitted there (the per-link LinkFail →
@@ -549,6 +568,20 @@ func (e *encapTunnel) Push(port int, p *packet.Packet) {
 	}
 	e.trace("tunnel", p)
 	e.ctx.Tunnels.SendTunnel(ent, p)
+}
+
+// Audit re-resolves the cached next hop when the version stamp is
+// current; disagreement means an invalidation was missed.
+func (e *encapTunnel) Audit() error {
+	if !e.cacheValid || e.cacheV != e.ctx.Encap.Version() {
+		return nil
+	}
+	ent, ok := e.ctx.Encap.Lookup(e.cacheNH)
+	if ok != e.cacheOK || (ok && ent != e.cacheEnt) {
+		return fmt.Errorf("encaptunnel: cached %v -> %+v,%v != table %+v,%v",
+			e.cacheNH, e.cacheEnt, e.cacheOK, ent, ok)
+	}
+	return nil
 }
 
 func (e *encapTunnel) Handler(name, value string) (string, error) {
@@ -643,25 +676,25 @@ func (e *ipNAPT) Initialize(ctx *Context) error {
 func (e *ipNAPT) Push(port int, p *packet.Packet) {
 	switch port {
 	case 0:
-		out, err := e.tbl.Outbound(p.Data)
-		if err != nil {
+		// In-place translation (RFC 1624 incremental checksums): the
+		// packet keeps its buffer and headroom, so the NAPT egress path
+		// forwards at zero allocations per packet.
+		if err := e.tbl.TranslateOutbound(p.Data); err != nil {
 			e.drops++
 			e.trace("napt-drop", p)
 			p.Release()
 			return
 		}
-		p.SetData(out) // rewritten datagram; headroom re-established on next Push
 		e.trace("napt-out", p)
 		e.out.Output(0, p)
 	case 1:
-		back, ok, err := e.tbl.Inbound(p.Data)
+		ok, err := e.tbl.TranslateInbound(p.Data)
 		if err != nil || !ok {
 			e.drops++
 			e.trace("napt-unmatched", p)
 			p.Release()
 			return
 		}
-		p.SetData(back)
 		e.trace("napt-in", p)
 		e.out.Output(1, p)
 	}

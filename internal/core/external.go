@@ -56,6 +56,9 @@ type externalSink VirtualNode
 
 func (t *externalSink) SendExternal(p *packet.Packet) {
 	vn := (*VirtualNode)(t)
+	// The substrate send wraps p.Data in a new packet; the buffer leaves
+	// the pool with it.
+	p.Escape()
 	vn.proc.SendIP(p.Data)
 }
 
@@ -165,6 +168,7 @@ type vpnSink VirtualNode
 
 func (t *vpnSink) SendVPN(p *packet.Packet) {
 	vn := (*VirtualNode)(t)
+	defer p.Release() // Seal copies out of p.Data; p is never retained
 	var ip packet.IPv4
 	if _, err := ip.Parse(p.Data); err != nil {
 		return

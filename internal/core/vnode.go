@@ -174,6 +174,10 @@ func (vn *VirtualNode) DivertPrefix(p netip.Prefix) {
 // Proc returns the Click forwarder process (for scheduler statistics).
 func (vn *VirtualNode) Proc() *netem.Process { return vn.proc }
 
+// RIB returns the node's FEA RIB (the XORP-role merge layer), so
+// consistency checkers can compare protocol, RIB, and FIB views.
+func (vn *VirtualNode) RIB() *fea.RIB { return vn.rib }
+
 // Interfaces returns the virtual interfaces.
 func (vn *VirtualNode) Interfaces() []VIface {
 	out := make([]VIface, len(vn.ifaces))
@@ -296,11 +300,13 @@ func (vn *VirtualNode) tunnelReceive(p *packet.Packet) {
 	case iip.Proto == packet.ProtoOSPF && vn.OSPF != nil:
 		// Control traffic: the protocol parses (and may retain) the inner
 		// slices, so the buffer stays out of the pool.
+		p.Escape()
 		vn.OSPF.Receive(idx, iip.Src, ipayload)
 		return
 	case iip.Proto == packet.ProtoUDP:
 		var iu packet.UDP
 		if body, err := iu.Parse(ipayload); err == nil && iu.DstPort == 520 && vn.RIP != nil {
+			p.Escape()
 			vn.RIP.Receive(idx, iip.Src, body)
 			return
 		}
@@ -368,6 +374,10 @@ type tapSink VirtualNode
 
 func (t *tapSink) DeliverTap(p *packet.Packet) {
 	vn := (*VirtualNode)(t)
+	// InjectLocal wraps p.Data in a fresh packet that local consumers may
+	// retain, so this buffer must not return to the pool (Escape, not
+	// Release — releasing would recycle memory the kernel now aliases).
+	p.Escape()
 	vn.phys.InjectLocal(p.Data)
 }
 

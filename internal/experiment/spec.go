@@ -193,18 +193,27 @@ func ParseSpec(text string) (*Spec, error) {
 			}
 			sp.Events = append(sp.Events, Event{At: d, Action: f[2], A: f[3], B: f[4]})
 		case "duration":
+			if len(f) < 2 {
+				return nil, fail("duration needs a value")
+			}
 			d, err := time.ParseDuration(f[1])
 			if err != nil || d <= 0 {
 				return nil, fail("bad duration %q", f[1])
 			}
 			sp.Duration = d
 		case "warmup":
+			if len(f) < 2 {
+				return nil, fail("warmup needs a value")
+			}
 			d, err := time.ParseDuration(f[1])
 			if err != nil || d <= 0 {
 				return nil, fail("bad warmup %q", f[1])
 			}
 			sp.Warmup = d
 		case "seed":
+			if len(f) < 2 {
+				return nil, fail("seed needs a value")
+			}
 			n, err := strconv.ParseInt(f[1], 10, 64)
 			if err != nil {
 				return nil, fail("bad seed %q", f[1])

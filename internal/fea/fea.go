@@ -7,6 +7,7 @@
 package fea
 
 import (
+	"fmt"
 	"net/netip"
 	"sort"
 	"sync"
@@ -127,4 +128,61 @@ func (r *RIB) better(pr, other protoRoute) bool {
 // Routes returns the current merged route set (from the target FIB).
 func (r *RIB) Routes() []fib.Route {
 	return r.target.Routes()
+}
+
+// ProtoRoutes returns a copy of proto's latest full announcement as
+// held by the RIB, for consistency checks against the protocol's own
+// view.
+func (r *RIB) ProtoRoutes(proto string) []fib.Route {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prs := r.byProto[proto]
+	out := make([]fib.Route, len(prs))
+	for i, pr := range prs {
+		out[i] = pr.Route
+	}
+	return out
+}
+
+// Verify re-runs route selection and checks the target FIB holds
+// exactly the winners (owner "rib"), i.e. no installation was lost or
+// reordered between the RIB and the data plane. It returns a
+// description of the first mismatch.
+func (r *RIB) Verify() error {
+	r.mu.Lock()
+	best := make(map[netip.Prefix]protoRoute)
+	for _, prs := range r.byProto {
+		for _, pr := range prs {
+			key := pr.Prefix.Masked()
+			cur, ok := best[key]
+			if !ok || r.better(pr, cur) {
+				best[key] = pr
+			}
+		}
+	}
+	r.mu.Unlock()
+	installed := make(map[netip.Prefix]fib.Route)
+	for _, rt := range r.target.Routes() {
+		if rt.Owner != "rib" {
+			continue
+		}
+		installed[rt.Prefix.Masked()] = rt
+	}
+	for key, pr := range best {
+		got, ok := installed[key]
+		if !ok {
+			return fmt.Errorf("fea: winner %v (%s) missing from FIB", pr.Route, pr.Proto)
+		}
+		want := pr.Route
+		want.Owner = "rib"
+		want.Prefix = want.Prefix.Masked()
+		if got != want {
+			return fmt.Errorf("fea: FIB has %v for %v, RIB selected %v", got, key, want)
+		}
+		delete(installed, key)
+	}
+	for _, rt := range installed {
+		return fmt.Errorf("fea: FIB route %v has no RIB winner", rt)
+	}
+	return nil
 }

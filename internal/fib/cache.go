@@ -1,6 +1,9 @@
 package fib
 
-import "net/netip"
+import (
+	"fmt"
+	"net/netip"
+)
 
 // cacheSlots sizes the direct-mapped Cache. The IIAS hot path sees a
 // handful of active destinations per forwarder, so a small power of two
@@ -54,6 +57,30 @@ func (c *Cache) Lookup(dst netip.Addr) (Route, bool) {
 	r, ok := c.t.Lookup(dst)
 	s.dst, s.route, s.ok, s.set = dst, r, ok, true
 	return r, ok
+}
+
+// Verify checks every populated slot against the table's reference
+// lookup. Slots cached under an older table version are legal (the next
+// Lookup flushes them), so Verify only audits when the stamp is
+// current; a populated slot that then disagrees with the reference trie
+// means the invalidation protocol failed — exactly the bug class
+// (serving stale routes after a flip) the simulation tests hunt.
+func (c *Cache) Verify() error {
+	if c.t.version.Load() != c.version {
+		return nil
+	}
+	for i := range c.slots {
+		s := &c.slots[i]
+		if !s.set {
+			continue
+		}
+		ref, ok := c.t.LookupReference(s.dst)
+		if s.ok != ok || (ok && s.route != ref) {
+			return fmt.Errorf("fib: cache slot %d stale for %v: cached=%v,%v reference=%v,%v",
+				i, s.dst, s.route, s.ok, ref, ok)
+		}
+	}
+	return nil
 }
 
 func slotOf(dst netip.Addr) int {

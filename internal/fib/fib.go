@@ -151,6 +151,54 @@ func (t *Table) Lookup(dst netip.Addr) (Route, bool) {
 	return Route{}, false
 }
 
+// LookupReference returns the longest-prefix-match route for dst by
+// walking the exact binary trie under the read lock, bypassing the
+// compiled stride-8 structure entirely. It is deliberately the dumbest
+// correct implementation: the differential oracle simulation tests
+// check the fast path against, packet by packet.
+func (t *Table) LookupReference(dst netip.Addr) (Route, bool) {
+	if !dst.Is4() {
+		return Route{}, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var best *Route
+	n := &t.root
+	a := dst.As4()
+	for i := 0; ; i++ {
+		if n.route != nil {
+			best = n.route
+		}
+		if i == 32 {
+			break
+		}
+		n = n.children[addrBit(a, i)]
+		if n == nil {
+			break
+		}
+	}
+	if best == nil {
+		return Route{}, false
+	}
+	return *best, true
+}
+
+// VerifyCompiled checks the compiled stride-8 trie against the
+// reference binary trie for every address in addrs, returning a
+// description of the first divergence. A nil error means the fast path
+// and the oracle agree on the whole sample.
+func (t *Table) VerifyCompiled(addrs []netip.Addr) error {
+	for _, a := range addrs {
+		fast, fok := t.Lookup(a)
+		ref, rok := t.LookupReference(a)
+		if fok != rok || (fok && fast != ref) {
+			return fmt.Errorf("fib: compiled lookup diverges for %v: fast=%v,%v reference=%v,%v",
+				a, fast, fok, ref, rok)
+		}
+	}
+	return nil
+}
+
 // ctable is an immutable stride-8 multibit trie: one level per address
 // byte, with prefixes whose length is not a multiple of 8 expanded across
 // the covered slots at build time (controlled prefix expansion).
@@ -243,6 +291,46 @@ func (t *Table) recompile() *ctable {
 	walk(&t.root)
 	t.compiled.Store(c)
 	return c
+}
+
+// CorruptCompiledForTest flips the output port of every route in the
+// currently compiled stride-8 trie without touching the reference
+// binary trie or the version counter. It exists solely for the
+// simulation harness's mutation tests, which use it to prove the
+// differential oracle (VerifyCompiled) actually catches a fast path
+// that diverges from the reference. Returns the number of corrupted
+// entries (0 means the table was empty).
+func (t *Table) CorruptCompiledForTest() int {
+	t.Lookup(netip.AddrFrom4([4]byte{0, 0, 0, 0})) // force compilation at the current version
+	c := t.compiled.Load()
+	if c == nil {
+		return 0
+	}
+	var corrupt func(n *cnode) int
+	corrupt = func(n *cnode) int {
+		cnt := 0
+		if n.def != nil {
+			bad := *n.def
+			bad.OutPort ^= 0x40
+			n.def = &bad
+			cnt++
+		}
+		for i, r := range n.routes {
+			if r != nil {
+				bad := *r
+				bad.OutPort ^= 0x40
+				n.routes[i] = &bad
+				cnt++
+			}
+		}
+		for _, ch := range n.children {
+			if ch != nil {
+				cnt += corrupt(ch)
+			}
+		}
+		return cnt
+	}
+	return corrupt(&c.root)
 }
 
 // RemoveOwner deletes every route installed by owner, returning the count.

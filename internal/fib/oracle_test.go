@@ -1,0 +1,79 @@
+package fib
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func oracleSample() []netip.Addr {
+	return []netip.Addr{
+		netip.MustParseAddr("10.1.0.1"),
+		netip.MustParseAddr("10.1.128.2"),
+		netip.MustParseAddr("10.2.3.4"),
+		netip.MustParseAddr("192.168.1.1"),
+		netip.MustParseAddr("8.8.8.8"),
+	}
+}
+
+// TestVerifyCompiledCatchesCorruption is the mutation test for the
+// differential FIB oracle: a poisoned compiled table must be reported,
+// and an intact one must not.
+func TestVerifyCompiledCatchesCorruption(t *testing.T) {
+	tbl := New()
+	tbl.Add(Route{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: netip.MustParseAddr("10.1.128.2"), OutPort: 0})
+	tbl.Add(Route{Prefix: netip.MustParsePrefix("10.1.0.1/32"), OutPort: 1})
+	tbl.Add(Route{Prefix: netip.MustParsePrefix("10.1.128.0/30"), NextHop: netip.MustParseAddr("10.1.128.1"), OutPort: 2})
+	if err := tbl.VerifyCompiled(oracleSample()); err != nil {
+		t.Fatalf("clean table failed verification: %v", err)
+	}
+	if n := tbl.CorruptCompiledForTest(); n == 0 {
+		t.Fatal("nothing corrupted")
+	}
+	if err := tbl.VerifyCompiled(oracleSample()); err == nil {
+		t.Fatal("corrupted compiled table passed verification")
+	}
+	// A mutation recompiles and heals the divergence.
+	tbl.Add(Route{Prefix: netip.MustParsePrefix("10.3.0.0/16"), NextHop: netip.MustParseAddr("10.1.128.2"), OutPort: 0})
+	if err := tbl.VerifyCompiled(oracleSample()); err != nil {
+		t.Fatalf("recompiled table failed verification: %v", err)
+	}
+}
+
+// TestCacheVerifyCatchesSkippedInvalidation simulates the bug class the
+// cache audit exists for: a route flips but a consumer's cache keeps
+// serving the old route because invalidation was (here: deliberately)
+// skipped. Verify must flag the stale slot.
+func TestCacheVerifyCatchesSkippedInvalidation(t *testing.T) {
+	tbl := New()
+	dst := netip.MustParseAddr("10.1.2.3")
+	tbl.Add(Route{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: netip.MustParseAddr("10.1.128.2"), OutPort: 0})
+	c := NewCache(tbl)
+	if _, ok := c.Lookup(dst); !ok {
+		t.Fatal("expected a route")
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("fresh cache failed verification: %v", err)
+	}
+	// Route flip: same prefix, new next hop.
+	tbl.Add(Route{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: netip.MustParseAddr("10.1.128.6"), OutPort: 3})
+	// A healthy cache is merely stale-stamped now, which is legal —
+	// the next Lookup flushes it — so Verify stays quiet.
+	if err := c.Verify(); err != nil {
+		t.Fatalf("stale-stamped cache should not fail verification: %v", err)
+	}
+	// Simulate broken invalidation: restamp to the current version
+	// while keeping the old slots, the exact state a skipped flush
+	// would leave behind.
+	c.version = tbl.version.Load()
+	if err := c.Verify(); err == nil {
+		t.Fatal("stale cache slot passed verification")
+	}
+	// The normal path heals: one Lookup flushes and re-fills.
+	c.version = 0
+	if _, ok := c.Lookup(dst); !ok {
+		t.Fatal("expected a route after flush")
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("refilled cache failed verification: %v", err)
+	}
+}

@@ -93,15 +93,8 @@ func (t *Table) expire() {
 	}
 }
 
-// Outbound translates a datagram leaving the overlay in place-ish: it
-// returns a new serialized datagram with source address/port rewritten,
-// creating a binding if needed.
-func (t *Table) Outbound(dgram []byte) ([]byte, error) {
-	t.expire()
-	flow, ok := packet.FlowOf(dgram)
-	if !ok {
-		return nil, fmt.Errorf("nat: cannot extract flow")
-	}
+// bindOutbound finds or creates the binding for an outbound flow.
+func (t *Table) bindOutbound(flow packet.Flow) (*Binding, error) {
 	b := t.out[flow]
 	if b == nil {
 		port, err := t.allocPort()
@@ -113,6 +106,39 @@ func (t *Table) Outbound(dgram []byte) ([]byte, error) {
 		t.back[port] = b
 	}
 	b.LastUsed = t.now()
+	return b, nil
+}
+
+// matchInbound returns the binding for a return flow, or nil.
+func (t *Table) matchInbound(flow packet.Flow) *Binding {
+	// For return traffic the external port is the destination port,
+	// except ICMP echo replies where it is the echo ID (in SrcPort).
+	key := flow.DstPort
+	if flow.Proto == packet.ProtoICMP {
+		key = flow.SrcPort
+	}
+	b := t.back[key]
+	if b == nil || flow.Src != b.Inside.Dst {
+		return nil
+	}
+	b.LastUsed = t.now()
+	return b
+}
+
+// Outbound translates a datagram leaving the overlay: it returns a new
+// serialized datagram with source address/port rewritten, creating a
+// binding if needed. This is the allocating reference implementation
+// the in-place TranslateOutbound is differentially tested against.
+func (t *Table) Outbound(dgram []byte) ([]byte, error) {
+	t.expire()
+	flow, ok := packet.FlowOf(dgram)
+	if !ok {
+		return nil, fmt.Errorf("nat: cannot extract flow")
+	}
+	b, err := t.bindOutbound(flow)
+	if err != nil {
+		return nil, err
+	}
 	return rewrite(dgram, true, t.cfg.External, b.External)
 }
 
@@ -125,19 +151,44 @@ func (t *Table) Inbound(dgram []byte) ([]byte, bool, error) {
 	if !ok {
 		return nil, false, fmt.Errorf("nat: cannot extract flow")
 	}
-	// For return traffic the external port is the destination port,
-	// except ICMP echo replies where it is the echo ID (in SrcPort).
-	key := flow.DstPort
-	if flow.Proto == packet.ProtoICMP {
-		key = flow.SrcPort
-	}
-	b := t.back[key]
-	if b == nil || flow.Src != b.Inside.Dst {
+	b := t.matchInbound(flow)
+	if b == nil {
 		return nil, false, nil
 	}
-	b.LastUsed = t.now()
 	out, err := rewriteBack(dgram, b.Inside)
 	return out, err == nil, err
+}
+
+// TranslateOutbound rewrites an outbound datagram in place with
+// incremental checksum updates (RFC 1624): source address, source
+// port/ICMP ID, IP header checksum, and transport checksum are patched
+// without re-serializing, so the NAPT egress path does not allocate.
+func (t *Table) TranslateOutbound(dgram []byte) error {
+	t.expire()
+	flow, ok := packet.FlowOf(dgram)
+	if !ok {
+		return fmt.Errorf("nat: cannot extract flow")
+	}
+	b, err := t.bindOutbound(flow)
+	if err != nil {
+		return err
+	}
+	return translate(dgram, true, t.cfg.External, b.External)
+}
+
+// TranslateInbound rewrites a return datagram in place back to its
+// inside flow. ok=false means no binding matches (not ours; drop).
+func (t *Table) TranslateInbound(dgram []byte) (bool, error) {
+	t.expire()
+	flow, ok := packet.FlowOf(dgram)
+	if !ok {
+		return false, fmt.Errorf("nat: cannot extract flow")
+	}
+	b := t.matchInbound(flow)
+	if b == nil {
+		return false, nil
+	}
+	return true, translate(dgram, false, b.Inside.Src, b.Inside.SrcPort)
 }
 
 // Bindings returns a snapshot of active sessions, for diagnostics.
@@ -186,6 +237,74 @@ func rewriteBack(dgram []byte, inside packet.Flow) ([]byte, error) {
 	})
 }
 
+// translate patches dgram in place: outbound (out=true) rewrites the
+// source address and source port (ICMP: echo ID), inbound the
+// destination address and destination port. The IP header checksum and
+// the transport checksum (whose pseudo-header covers the rewritten
+// address) are updated incrementally per RFC 1624, so the fast path
+// neither copies nor re-serializes. A UDP datagram sent without a
+// checksum (field zero) keeps none.
+func translate(dgram []byte, out bool, addr netip.Addr, port uint16) error {
+	var ip packet.IPv4
+	seg, err := ip.Parse(dgram)
+	if err != nil {
+		return err
+	}
+	addrOff := 12 // source address
+	if !out {
+		addrOff = 16 // destination address
+	}
+	oldHi := binary.BigEndian.Uint16(dgram[addrOff : addrOff+2])
+	oldLo := binary.BigEndian.Uint16(dgram[addrOff+2 : addrOff+4])
+	a4 := addr.As4()
+	newHi := binary.BigEndian.Uint16(a4[0:2])
+	newLo := binary.BigEndian.Uint16(a4[2:4])
+	packet.UpdateChecksum16(dgram[10:12], oldHi, newHi)
+	packet.UpdateChecksum16(dgram[10:12], oldLo, newLo)
+	copy(dgram[addrOff:addrOff+4], a4[:])
+
+	switch ip.Proto {
+	case packet.ProtoUDP, packet.ProtoTCP:
+		portOff := 0 // source port
+		if !out {
+			portOff = 2 // destination port
+		}
+		var csum []byte
+		switch {
+		case ip.Proto == packet.ProtoUDP && len(seg) >= packet.UDPHeaderLen:
+			if binary.BigEndian.Uint16(seg[6:8]) != 0 {
+				csum = seg[6:8]
+			}
+		case ip.Proto == packet.ProtoTCP && len(seg) >= packet.TCPHeaderLen:
+			csum = seg[16:18]
+		default:
+			return fmt.Errorf("nat: transport header truncated")
+		}
+		oldPort := binary.BigEndian.Uint16(seg[portOff : portOff+2])
+		if csum != nil {
+			packet.UpdateChecksum16(csum, oldHi, newHi)
+			packet.UpdateChecksum16(csum, oldLo, newLo)
+			packet.UpdateChecksum16(csum, oldPort, port)
+			if ip.Proto == packet.ProtoUDP && binary.BigEndian.Uint16(csum) == 0 {
+				// 0 would mean "no checksum"; 0xffff is the same
+				// ones-complement value.
+				binary.BigEndian.PutUint16(csum, 0xffff)
+			}
+		}
+		binary.BigEndian.PutUint16(seg[portOff:portOff+2], port)
+	case packet.ProtoICMP:
+		if len(seg) < packet.ICMPHeaderLen {
+			return fmt.Errorf("nat: ICMP header truncated")
+		}
+		// The address does not enter the ICMP checksum (no pseudo-header);
+		// only the rewritten echo ID does.
+		oldID := binary.BigEndian.Uint16(seg[4:6])
+		packet.UpdateChecksum16(seg[2:4], oldID, port)
+		binary.BigEndian.PutUint16(seg[4:6], port)
+	}
+	return nil
+}
+
 // reserialize rebuilds the datagram after mutate edits the transport
 // header, recomputing transport and IP checksums.
 func reserialize(ip packet.IPv4, payload []byte, mutate func(proto uint8, seg []byte)) ([]byte, error) {
@@ -200,7 +319,13 @@ func reserialize(ip packet.IPv4, payload []byte, mutate func(proto uint8, seg []
 			}
 			u.SrcPort = binary.BigEndian.Uint16(seg[0:2])
 			u.DstPort = binary.BigEndian.Uint16(seg[2:4])
+			noCsum := binary.BigEndian.Uint16(seg[6:8]) == 0
 			seg = u.Marshal(ip.Src, ip.Dst, seg[packet.UDPHeaderLen:])
+			if noCsum {
+				// RFC 768 zero means "no checksum"; a translator
+				// preserves that rather than inventing one (RFC 3022).
+				seg[6], seg[7] = 0, 0
+			}
 		}
 	case packet.ProtoTCP:
 		if len(seg) >= packet.TCPHeaderLen {

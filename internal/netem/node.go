@@ -244,7 +244,8 @@ func (n *Node) forwardOut(r fib.Route, p *packet.Packet) {
 // deliverLocal hands a packet addressed to this node to its consumer.
 // Delivered packets are never Released here: stack handlers receive (and
 // may retain) p.Data, so the buffer must stay out of the pool and fall to
-// the garbage collector. Only undeliverable packets are released.
+// the garbage collector — Escape records that hand-off in the pool
+// ledger. Only undeliverable packets are released.
 func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 	n.kernelCharge(n.prof.scaled(n.prof.StackCost))
 	switch ip.Proto {
@@ -261,6 +262,7 @@ func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 			return
 		}
 		if h, ok := n.stackUDP[u.DstPort]; ok {
+			p.Escape() // handler may retain p.Data; buffer leaves the pool
 			h(p.Data)
 			return
 		}
@@ -284,6 +286,7 @@ func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 			return
 		}
 		if h, ok := n.stackTCP[th.DstPort]; ok {
+			p.Escape()
 			h(p.Data)
 			return
 		}
@@ -295,6 +298,7 @@ func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 		p.Release()
 	case packet.ProtoICMP:
 		if n.icmpTap != nil {
+			p.Escape()
 			n.icmpTap(p.Data)
 			return
 		}

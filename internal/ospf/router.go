@@ -125,7 +125,9 @@ type Router struct {
 	// mySeq is this router's LSA sequence counter.
 	mySeq uint32
 	// onRoutes receives the post-SPF route table (the FEA hook).
-	onRoutes   func([]fib.Route)
+	onRoutes func([]fib.Route)
+	// lastRoutes is the most recently emitted route set (see Routes).
+	lastRoutes []fib.Route
 	spfPending bool
 	started    bool
 	helloTimer sim.Timer
@@ -626,7 +628,18 @@ func (r *Router) runSPF() {
 	sort.Slice(routes, func(i, j int) bool {
 		return routes[i].Prefix.String() < routes[j].Prefix.String()
 	})
+	r.lastRoutes = append(r.lastRoutes[:0], routes...)
 	r.onRoutes(routes)
+}
+
+// Routes returns a copy of the route set produced by the most recent
+// SPF run — the protocol's RIB as last handed to the FEA. The
+// simulation invariant checkers compare it against the merged RIB and
+// the installed FIB (control-plane/data-plane consistency).
+func (r *Router) Routes() []fib.Route {
+	out := make([]fib.Route, len(r.lastRoutes))
+	copy(out, r.lastRoutes)
+	return out
 }
 
 func (r *Router) neighborByID(id uint32) *neighbor {

@@ -145,12 +145,16 @@ func SetTTL(dgram []byte, ttl uint8) {
 	old := uint16(dgram[8]) << 8
 	dgram[8] = ttl
 	new_ := uint16(ttl) << 8
-	updateChecksum16(dgram[10:12], old, new_)
+	UpdateChecksum16(dgram[10:12], old, new_)
 }
 
-// updateChecksum16 applies an incremental checksum update for a 16-bit
-// field change per RFC 1624: HC' = ~(~HC + ~m + m').
-func updateChecksum16(csum []byte, old, new_ uint16) {
+// UpdateChecksum16 applies an incremental checksum update for a 16-bit
+// field change per RFC 1624: HC' = ~(~HC + ~m + m'). csum is the two
+// checksum bytes in place; old and new_ are the field's big-endian
+// values before and after the rewrite. In-place header rewriting (TTL
+// decrement, NAPT address/port translation) uses this instead of
+// recomputing the full sum.
+func UpdateChecksum16(csum []byte, old, new_ uint16) {
 	hc := binary.BigEndian.Uint16(csum)
 	sum := uint32(^hc) + uint32(^old) + uint32(new_)
 	for sum>>16 != 0 {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -112,6 +113,42 @@ var pktPool = sync.Pool{
 	New: func() any { return &Packet{buf: make([]byte, poolBufSize)} },
 }
 
+// Pool accounting: every pooled packet leaves the pool through Get and
+// comes back through Release, or is handed off for keeps through Escape.
+// The deterministic simulation tests assert Gets == Releases + Escapes at
+// every quiescent point (packet conservation); see internal/simtest.
+var poolGets, poolReleases, poolEscapes atomic.Uint64
+
+// PoolStats is a snapshot of the pooled-packet ledger.
+type PoolStats struct {
+	// Gets counts packets obtained from Get (including Clone).
+	Gets uint64
+	// Releases counts packets returned to the pool with Release.
+	Releases uint64
+	// Escapes counts packets whose ownership left the pool for good:
+	// delivered to a stack handler that may retain the buffer.
+	Escapes uint64
+}
+
+// InFlight is the number of pooled packets currently owned by someone:
+// taken from the pool and neither released nor escaped.
+func (s PoolStats) InFlight() int64 {
+	return int64(s.Gets) - int64(s.Releases) - int64(s.Escapes)
+}
+
+// Sub returns the per-counter difference s - t, for delta accounting
+// across a test region.
+func (s PoolStats) Sub(t PoolStats) PoolStats {
+	return PoolStats{Gets: s.Gets - t.Gets, Releases: s.Releases - t.Releases,
+		Escapes: s.Escapes - t.Escapes}
+}
+
+// Stats snapshots the pool ledger.
+func Stats() PoolStats {
+	return PoolStats{Gets: poolGets.Load(), Releases: poolReleases.Load(),
+		Escapes: poolEscapes.Load()}
+}
+
 // Get returns an empty pooled packet with DefaultHeadroom reserved.
 // The caller owns it until it is handed off or Released.
 func Get() *Packet {
@@ -122,6 +159,7 @@ func Get() *Packet {
 	p.pooled = true
 	p.released = false
 	p.Anno = Annotations{}
+	poolGets.Add(1)
 	return p
 }
 
@@ -138,7 +176,26 @@ func (p *Packet) Release() {
 	}
 	p.released = true
 	p.Data = nil
+	poolReleases.Add(1)
 	pktPool.Put(p)
+}
+
+// Escape removes a pooled packet from the pool's ledger without
+// returning its buffer: the receiver (a simulated kernel stack handler,
+// a tap consumer) may retain p.Data indefinitely, so the buffer must
+// never be recycled. After Escape the packet behaves as a wrapped
+// packet — Release becomes a no-op. Calling Escape on a wrapped packet
+// is a no-op; calling it after Release panics (the owner already gave
+// the buffer away).
+func (p *Packet) Escape() {
+	if !p.pooled {
+		return
+	}
+	if p.released {
+		panic("packet: escape after release")
+	}
+	p.pooled = false
+	poolEscapes.Add(1)
 }
 
 // Released reports whether a pooled packet has been returned to the pool.

