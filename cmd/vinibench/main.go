@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest] [-seed N] [-short]
+//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest|parallel] [-seed N] [-short] [-parallel N] [-v]
 package main
 
 import (
@@ -26,9 +26,11 @@ import (
 )
 
 var (
-	expFlag  = flag.String("exp", "all", "experiment to run")
-	seedFlag = flag.Int64("seed", 2, "simulation seed")
-	short    = flag.Bool("short", false, "shorter measurement windows")
+	expFlag      = flag.String("exp", "all", "experiment to run")
+	seedFlag     = flag.Int64("seed", 2, "simulation seed")
+	short        = flag.Bool("short", false, "shorter measurement windows")
+	parallelFlag = flag.Int("parallel", 4, "max worker count for the parallel-executor benchmark")
+	verbose      = flag.Bool("v", false, "print per-domain event counters in the parallel experiment")
 )
 
 func main() {
@@ -56,6 +58,7 @@ func main() {
 	run("ablation", ablation)
 	run("fastpath", fastpath)
 	run("simtest", simtestExp)
+	run("parallel", parallelExp)
 }
 
 // simtestExp sweeps seeded deterministic-simulation scenarios and

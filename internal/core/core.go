@@ -27,11 +27,29 @@ type VINI struct {
 	nextID int
 }
 
-// New creates an infrastructure on a fresh event loop.
+// New creates an infrastructure on a fresh event loop: the classic
+// single-timeline mode, byte-identical to the historical global loop.
 func New(seed int64) *VINI {
-	loop := sim.NewLoop(seed)
+	return build(sim.NewLoop(seed), false)
+}
+
+// NewParallel creates an infrastructure whose physical nodes each get
+// their own time domain, run by an executor with the given worker
+// budget under conservative synchronization. workers <= 1 still shards
+// nodes into domains but executes them on one worker — the
+// determinism-parity baseline: results are byte-identical for any
+// worker count.
+func NewParallel(seed int64, workers int) *VINI {
+	return build(sim.NewExecutor(seed, workers).Loop(), true)
+}
+
+func build(loop *sim.Loop, shard bool) *VINI {
+	net := netem.New(loop)
+	if shard {
+		net = netem.NewSharded(loop)
+	}
 	v := &VINI{
-		Net:    netem.New(loop),
+		Net:    net,
 		loop:   loop,
 		graph:  topology.New(),
 		slices: make(map[string]*Slice),
@@ -43,6 +61,14 @@ func New(seed int64) *VINI {
 
 // Loop exposes the event loop for scheduling experiment actions.
 func (v *VINI) Loop() *sim.Loop { return v.loop }
+
+// Executor exposes the coordinating executor (domain statistics,
+// schedule digests, worker shutdown).
+func (v *VINI) Executor() *sim.Executor { return v.loop.Executor() }
+
+// Close releases the executor's worker goroutines. Only needed for
+// NewParallel infrastructures that have run; harmless otherwise.
+func (v *VINI) Close() { v.loop.Executor().Shutdown() }
 
 // AddNode creates a physical node.
 func (v *VINI) AddNode(name string, addr netip.Addr, prof netem.Profile, opt sched.Options) (*netem.Node, error) {

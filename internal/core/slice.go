@@ -242,7 +242,7 @@ func (vn *VirtualNode) startOSPF(hello, dead time.Duration) {
 		SPFDelay: vn.slice.SPFDelay,
 		Stubs:    stubs,
 	}
-	r := ospf.New(vn.slice.vini.loop, cfg, ospfTransport{vn})
+	r := ospf.New(vn.clock, cfg, ospfTransport{vn})
 	for _, ifc := range vn.ifaces {
 		r.AddInterface(ospf.Interface{
 			Name:   fmt.Sprintf("tun%d", ifc.Index),
@@ -260,7 +260,7 @@ func (vn *VirtualNode) startOSPF(hello, dead time.Duration) {
 func (vn *VirtualNode) startRIP(update time.Duration) {
 	stubs := []netip.Prefix{netip.PrefixFrom(vn.TapAddr, 32)}
 	stubs = append(stubs, vn.extraStubs...)
-	r := rip.New(vn.slice.vini.loop, rip.Config{Update: update, Stubs: stubs}, ripTransport{vn})
+	r := rip.New(vn.clock, rip.Config{Update: update, Stubs: stubs}, ripTransport{vn})
 	for _, ifc := range vn.ifaces {
 		r.AddInterface(rip.Interface{
 			Name:   fmt.Sprintf("tun%d", ifc.Index),

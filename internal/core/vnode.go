@@ -12,6 +12,7 @@ import (
 	"vini/internal/ospf"
 	"vini/internal/packet"
 	"vini/internal/rip"
+	"vini/internal/sim"
 )
 
 // LookupIPRoute output-port convention in the generated IIAS config.
@@ -41,6 +42,10 @@ type VIface struct {
 type VirtualNode struct {
 	slice *Slice
 	phys  *netem.Node
+	// clock is the hosting node's domain-scoped clock; everything the
+	// virtual node schedules at runtime (Click timers, OSPF/RIP
+	// periodics, control timestamps) runs in that domain.
+	clock sim.Clock
 	proc  *netem.Process
 	// Router is the Click graph, built by parsing a generated
 	// configuration in the Click language.
@@ -101,6 +106,7 @@ func newVirtualNode(s *Slice, phys *netem.Node, tap netip.Addr) (*VirtualNode, e
 	vn := &VirtualNode{
 		slice:   s,
 		phys:    phys,
+		clock:   phys.Clock(),
 		FIB:     fib.New(),
 		Encap:   fib.NewEncapTable(),
 		TapAddr: tap,
@@ -113,8 +119,8 @@ func newVirtualNode(s *Slice, phys *netem.Node, tap netip.Addr) (*VirtualNode, e
 		Strict: s.cfg.Strict,
 	})
 	ctx := &click.Context{
-		Clock:     s.vini.loop,
-		RNG:       s.vini.loop.RNG().Fork(),
+		Clock:     vn.clock,
+		RNG:       phys.Domain().RNG().Fork(),
 		FIB:       vn.FIB,
 		Encap:     vn.Encap,
 		Tunnels:   (*tunnelTransport)(vn),
@@ -329,7 +335,7 @@ func (vn *VirtualNode) sendControl(ifIndex int, dgram []byte) {
 		return
 	}
 	p := packet.New(dgram)
-	p.Anno.Timestamp = vn.slice.vini.loop.Now()
+	p.Anno.Timestamp = vn.clock.Now()
 	p.Anno.NextHop = vn.ifaces[ifIndex].PeerAddr
 	vn.Router.Push(fmt.Sprintf("fail%d", ifIndex), 0, p)
 }

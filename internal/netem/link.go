@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"vini/internal/packet"
+	"vini/internal/sim"
 )
 
 // LinkConfig describes one physical link.
@@ -34,6 +35,11 @@ type Link struct {
 
 type linkDir struct {
 	link *Link
+	// rng draws per-packet jitter. In classic mode this aliases the
+	// network RNG (preserving the historical draw sequence); in sharded
+	// mode each direction owns a forked stream, since transmit runs in
+	// the source node's domain.
+	rng *sim.RNG
 	// busyUntil is when the transmitter finishes the current queue.
 	busyUntil time.Duration
 	// queued tracks bytes committed but not yet serialized.
@@ -65,7 +71,10 @@ func (l *Link) Stats(dir int) (packets, bytes, drops uint64) {
 
 // transmit sends p from node src across the link. It models a FIFO
 // drop-tail queue ahead of a fixed-rate serializer plus propagation
-// delay, then hands the packet to the far node's receive path.
+// delay, then hands the packet to the far node's receive path. It runs
+// in src's time domain; when the far node lives in a different domain
+// the arrival becomes a timestamped mailbox message, which is the only
+// way simulated state ever crosses domains.
 func (l *Link) transmit(src *Node, p *packet.Packet) {
 	if l.down {
 		p.Release()
@@ -81,8 +90,7 @@ func (l *Link) transmit(src *Node, p *packet.Packet) {
 	default:
 		panic("netem: transmit from node not on link")
 	}
-	loop := l.net.loop
-	now := loop.Now()
+	now := src.dom.Now()
 	if d.busyUntil < now {
 		d.busyUntil = now
 		d.queued = 0
@@ -99,7 +107,7 @@ func (l *Link) transmit(src *Node, p *packet.Packet) {
 	d.Bytes += uint64(p.Len())
 	delay := l.cfg.Delay
 	if l.cfg.Jitter > 0 {
-		delay += time.Duration(l.net.rng.Float64() * float64(l.cfg.Jitter))
+		delay += time.Duration(d.rng.Float64() * float64(l.cfg.Jitter))
 	}
 	arrival := d.busyUntil + delay
 	if arrival < d.lastArrival {
@@ -107,11 +115,31 @@ func (l *Link) transmit(src *Node, p *packet.Packet) {
 	}
 	d.lastArrival = arrival
 	size := p.Len()
-	loop.Schedule(arrival-now, func() {
+	if src.dom == dst.dom {
+		src.dom.Schedule(arrival-now, func() {
+			d.queued -= size
+			if d.queued < 0 {
+				d.queued = 0
+			}
+			if l.down {
+				p.Release() // failed while in flight
+				return
+			}
+			dst.receive(p, l)
+		})
+		return
+	}
+	// Sharded: the transmitter state (d.queued) belongs to src's domain
+	// and the receive path to dst's, so the arrival splits into a local
+	// queue-drain event and a cross-domain delivery message. Ownership
+	// of p transfers with the message.
+	src.dom.Schedule(arrival-now, func() {
 		d.queued -= size
 		if d.queued < 0 {
 			d.queued = 0
 		}
+	})
+	src.dom.SendTo(dst.dom, arrival-now, func() {
 		if l.down {
 			p.Release() // failed while in flight
 			return

@@ -17,9 +17,15 @@ import (
 	"vini/internal/topology"
 )
 
-// Network is a set of nodes and links on a shared event loop.
+// Network is a set of nodes and links on a shared executor. In classic
+// mode every node shares the loop's control domain (single timeline,
+// byte-identical to the historical global loop); in sharded mode each
+// node gets its own sim.Domain and cross-node packet hand-offs travel
+// through domain mailboxes, letting the executor run nodes in parallel.
 type Network struct {
-	loop  *sim.Loop
+	loop *sim.Loop
+	// shard assigns each node its own time domain.
+	shard bool
 	rng   *sim.RNG
 	nodes map[string]*Node
 	order []string
@@ -36,13 +42,26 @@ type LinkEvent struct {
 	At   time.Duration
 }
 
-// New creates an empty network on loop.
+// New creates an empty network on loop, with every node on the loop's
+// single timeline (the classic mode).
 func New(loop *sim.Loop) *Network {
 	return &Network{
 		loop:  loop,
 		rng:   loop.RNG().Fork(),
 		nodes: make(map[string]*Node),
 	}
+}
+
+// NewSharded creates an empty network in which every node added gets
+// its own time domain on loop's executor, so the simulation can run
+// nodes on parallel workers. Topology must be complete before the
+// first Run. Control actions (FailLink, ComputeRoutes, driver
+// Schedule calls on the loop) run on the control domain at global
+// barriers, exactly ordered against node events by the merge key.
+func NewSharded(loop *sim.Loop) *Network {
+	w := New(loop)
+	w.shard = true
+	return w
 }
 
 // Loop returns the event loop.
@@ -53,14 +72,19 @@ func (w *Network) AddNode(name string, addr netip.Addr, prof Profile, schedOpt s
 	if _, dup := w.nodes[name]; dup {
 		return nil, fmt.Errorf("netem: duplicate node %q", name)
 	}
+	dom := w.loop.Domain
+	if w.shard {
+		dom = w.loop.Executor().NewDomain(name)
+	}
 	n := &Node{
 		name:     name,
 		net:      w,
+		dom:      dom,
 		prof:     prof,
 		addr:     addr,
 		addrs:    map[netip.Addr]bool{addr: true},
 		routes:   fib.New(),
-		CPU:      sched.New(w.loop, schedOpt),
+		CPU:      sched.New(dom, schedOpt),
 		udpPorts: make(map[uint16]*Socket),
 		stackUDP: make(map[uint16]StackHandler),
 		stackTCP: make(map[uint16]StackHandler),
@@ -105,8 +129,21 @@ func (w *Network) AddLink(cfg LinkConfig) (*Link, error) {
 		cfg.QueueBytes = 256 << 10
 	}
 	l := &Link{cfg: cfg, net: w, a: a, b: b}
-	l.dir[0] = &linkDir{link: l}
-	l.dir[1] = &linkDir{link: l}
+	l.dir[0] = &linkDir{link: l, rng: w.rng}
+	l.dir[1] = &linkDir{link: l, rng: w.rng}
+	if w.shard {
+		// Each direction draws jitter from its own stream (forked at
+		// construction, so deterministic) — transmit runs inside the
+		// source node's domain and must not touch a shared RNG.
+		l.dir[0].rng = w.rng.Fork()
+		l.dir[1].rng = w.rng.Fork()
+		if a.dom != b.dom {
+			// The link's propagation delay is the conservative
+			// lookahead it contributes to each endpoint's horizon.
+			a.dom.ObserveInboundLatency(cfg.Delay)
+			b.dom.ObserveInboundLatency(cfg.Delay)
+		}
+	}
 	a.links = append(a.links, l)
 	b.links = append(b.links, l)
 	w.links = append(w.links, l)

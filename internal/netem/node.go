@@ -8,6 +8,7 @@ import (
 	"vini/internal/fib"
 	"vini/internal/packet"
 	"vini/internal/sched"
+	"vini/internal/sim"
 )
 
 // Node is one physical host: a kernel stack (addresses, route table,
@@ -16,6 +17,11 @@ import (
 type Node struct {
 	name string
 	net  *Network
+	// dom is the node's time domain: the control domain in classic
+	// mode, a private one in sharded mode. Everything the node does at
+	// runtime — CPU scheduling, forwarding latency, stack timestamps —
+	// is clocked and scheduled here.
+	dom  *sim.Domain
 	prof Profile
 	// addr is the node's primary (public) address.
 	addr netip.Addr
@@ -78,6 +84,14 @@ func (n *Node) Name() string { return n.name }
 
 // Addr returns the node's primary address.
 func (n *Node) Addr() netip.Addr { return n.addr }
+
+// Clock returns the node's domain-scoped clock. Protocol and traffic
+// code attached to this node must schedule here (not on the global
+// loop) so it stays correct under parallel execution.
+func (n *Node) Clock() sim.Clock { return n.dom }
+
+// Domain returns the node's time domain.
+func (n *Node) Domain() *sim.Domain { return n.dom }
 
 // Profile returns the node's host cost model.
 func (n *Node) Profile() Profile { return n.prof }
@@ -145,7 +159,7 @@ func (n *Node) kernelCharge(d time.Duration) { n.kernelUsed += d }
 
 // KernelUtilization reports the kernel CPU fraction since the last reset.
 func (n *Node) KernelUtilization() float64 {
-	elapsed := n.net.loop.Now() - n.kernAcctFrom
+	elapsed := n.dom.Now() - n.kernAcctFrom
 	if elapsed <= 0 {
 		return 0
 	}
@@ -155,7 +169,7 @@ func (n *Node) KernelUtilization() float64 {
 // ResetAccounting clears CPU accounting on the node and its processes.
 func (n *Node) ResetAccounting() {
 	n.kernelUsed = 0
-	n.kernAcctFrom = n.net.loop.Now()
+	n.kernAcctFrom = n.dom.Now()
 	n.CPU.ResetAccounting()
 	for _, p := range n.procs {
 		for _, s := range p.socks {
@@ -238,7 +252,7 @@ func (n *Node) forwardOut(r fib.Route, p *packet.Packet) {
 	}
 	link := n.links[r.OutPort]
 	cost := n.prof.scaled(n.prof.KernelForwardCost)
-	n.net.loop.Schedule(cost, func() { link.transmit(n, p) })
+	n.dom.Schedule(cost, func() { link.transmit(n, p) })
 }
 
 // deliverLocal hands a packet addressed to this node to its consumer.
@@ -321,6 +335,6 @@ func (n *Node) send(dgram []byte) {
 // sendPacket transmits an already-wrapped datagram, the zero-copy path
 // used by in-place tunnel encapsulation (Process.SendUDPPacket).
 func (n *Node) sendPacket(p *packet.Packet) {
-	p.Anno.Timestamp = n.net.loop.Now()
+	p.Anno.Timestamp = n.dom.Now()
 	n.route(p, true)
 }

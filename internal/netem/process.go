@@ -169,7 +169,7 @@ func (p *Process) work(budget time.Duration) (time.Duration, bool) {
 	s.buf = s.buf[1:]
 	s.bufB -= pkt.Len()
 	p.pending--
-	p.node.net.loop.Schedule(cost, func() { s.handler(pkt) })
+	p.node.dom.Schedule(cost, func() { s.handler(pkt) })
 	return cost, p.pending > 0
 }
 

@@ -613,11 +613,15 @@ func (r *Router) runSPF() {
 		}
 	}
 	// Deduplicate: several routers may advertise the same subnet (both
-	// ends of a /30); keep the lowest metric.
+	// ends of a /30); keep the lowest metric. Equal-metric ties break on
+	// next-hop address — `routes` was accumulated in map-range order, so
+	// without a total order here the winner would vary run to run and
+	// replay determinism would be lost.
 	bestRoute := map[netip.Prefix]fib.Route{}
 	for _, rt := range routes {
 		cur, ok := bestRoute[rt.Prefix]
-		if !ok || rt.Metric < cur.Metric {
+		if !ok || rt.Metric < cur.Metric ||
+			(rt.Metric == cur.Metric && rt.NextHop.Less(cur.NextHop)) {
 			bestRoute[rt.Prefix] = rt
 		}
 	}

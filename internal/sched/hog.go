@@ -24,18 +24,18 @@ type HogConfig struct {
 // Hog is a running background slice.
 type Hog struct {
 	task *Task
-	loop *sim.Loop
+	clock sim.Clock
 	cfg  HogConfig
 	busy bool
 	stop bool
 }
 
 // StartHog registers and starts a background slice on cpu.
-func StartHog(loop *sim.Loop, cpu *CPU, cfg HogConfig) *Hog {
+func StartHog(clock sim.Clock, cpu *CPU, cfg HogConfig) *Hog {
 	if cfg.RNG == nil {
 		cfg.RNG = sim.NewRNG(1)
 	}
-	h := &Hog{loop: loop, cfg: cfg}
+	h := &Hog{clock: clock, cfg: cfg}
 	h.task = cpu.NewTask(TaskConfig{
 		Name:  cfg.Name,
 		Share: cfg.Share,
@@ -64,14 +64,14 @@ func (h *Hog) scheduleBusy() {
 		return
 	}
 	idle := h.draw(h.cfg.MeanIdle)
-	h.loop.Schedule(idle, func() {
+	h.clock.Schedule(idle, func() {
 		if h.stop {
 			return
 		}
 		h.busy = true
 		h.task.Wake()
 		busy := h.draw(h.cfg.MeanBusy)
-		h.loop.Schedule(busy, func() {
+		h.clock.Schedule(busy, func() {
 			h.busy = false
 			h.scheduleBusy()
 		})

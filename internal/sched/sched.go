@@ -118,7 +118,7 @@ func (t *Task) SetShare(s float64) { t.cfg.Share = s }
 
 // CPU is one simulated processor.
 type CPU struct {
-	loop    *sim.Loop
+	clock   sim.Clock
 	opt     Options
 	tasks   []*Task
 	queue   []*Task // FIFO arrival order of runnable, unselected tasks
@@ -133,10 +133,10 @@ type CPU struct {
 	refillKick bool
 }
 
-// New returns a CPU bound to loop.
-func New(loop *sim.Loop, opt Options) *CPU {
+// New returns a CPU bound to a domain-scoped clock (or a Loop).
+func New(clock sim.Clock, opt Options) *CPU {
 	opt.setDefaults()
-	return &CPU{loop: loop, opt: opt, started: loop.Now()}
+	return &CPU{clock: clock, opt: opt, started: clock.Now()}
 }
 
 // Options returns the CPU's effective options.
@@ -149,7 +149,7 @@ func (c *CPU) NewTask(cfg TaskConfig) *Task {
 		panic("sched: task without WorkFunc")
 	}
 	t := &Task{cpu: c, cfg: cfg, id: c.nextID, tokens: c.opt.TokenCap,
-		lastRefill: c.loop.Now()}
+		lastRefill: c.clock.Now()}
 	c.nextID++
 	c.tasks = append(c.tasks, t)
 	return t
@@ -157,7 +157,7 @@ func (c *CPU) NewTask(cfg TaskConfig) *Task {
 
 // Utilization returns the busy fraction of the CPU since accounting start.
 func (c *CPU) Utilization() float64 {
-	elapsed := c.loop.Now() - c.started
+	elapsed := c.clock.Now() - c.started
 	if elapsed <= 0 {
 		return 0
 	}
@@ -167,7 +167,7 @@ func (c *CPU) Utilization() float64 {
 // TaskUtilization returns the fraction of wall time task has consumed
 // since accounting start.
 func (c *CPU) TaskUtilization(t *Task) float64 {
-	elapsed := c.loop.Now() - c.started
+	elapsed := c.clock.Now() - c.started
 	if elapsed <= 0 {
 		return 0
 	}
@@ -176,7 +176,7 @@ func (c *CPU) TaskUtilization(t *Task) float64 {
 
 // ResetAccounting zeroes utilization counters (between experiment phases).
 func (c *CPU) ResetAccounting() {
-	c.started = c.loop.Now()
+	c.started = c.clock.Now()
 	c.busy = 0
 	for _, t := range c.tasks {
 		t.used = 0
@@ -191,7 +191,7 @@ func (t *Task) Wake() {
 	if !t.runnable {
 		t.runnable = true
 		if !t.waiting {
-			t.wakeAt = c.loop.Now()
+			t.wakeAt = c.clock.Now()
 			t.waiting = true
 		}
 	}
@@ -203,7 +203,7 @@ func (t *Task) Wake() {
 }
 
 func (t *Task) refill() {
-	now := t.cpu.loop.Now()
+	now := t.cpu.clock.Now()
 	dt := now - t.lastRefill
 	t.lastRefill = now
 	if t.cfg.Share <= 0 {
@@ -274,7 +274,7 @@ func (c *CPU) dispatch() {
 			t.quantumLeft = c.opt.Quantum
 			if t.waiting {
 				t.waiting = false
-				t.WakeStat.AddDuration(c.loop.Now() - t.wakeAt)
+				t.WakeStat.AddDuration(c.clock.Now() - t.wakeAt)
 			}
 		}
 		budget := c.opt.Grain
@@ -299,7 +299,7 @@ func (c *CPU) dispatch() {
 			continue
 		}
 		c.running = true
-		c.loop.Schedule(used, c.grainDone)
+		c.clock.Schedule(used, c.grainDone)
 		return
 	}
 }
@@ -360,7 +360,7 @@ func (c *CPU) armRefillKick() {
 		return
 	}
 	c.refillKick = true
-	c.loop.Schedule(wait, func() {
+	c.clock.Schedule(wait, func() {
 		c.refillKick = false
 		c.kick()
 	})

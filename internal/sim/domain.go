@@ -1,0 +1,401 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cross-domain timer states (Timer.cancel). A cross-domain send cannot
+// be removed from the destination heap by the sender (that heap belongs
+// to another worker), so cancellation is lazy: Stop flips the flag and
+// the destination drops the message at delivery time, or at fire time
+// if it was already materialized. Exactly one side wins the CAS, so the
+// event is recycled exactly once, by its owning domain.
+const (
+	timerPending = iota
+	timerStopped
+	timerFired
+)
+
+// maxTime is the "no event / no constraint" sentinel for horizon math.
+const maxTime = time.Duration(1<<63 - 1)
+
+// fnvPrime folds the per-domain schedule digest (FNV-1a style over the
+// fired-event keys). The digest is order-sensitive, so two runs match
+// only if every domain fired the same events in the same order.
+const (
+	fnvOffset uint64 = 0xcbf29ce484222325
+	fnvPrime  uint64 = 0x100000001b3
+)
+
+// DomainStats is one domain's event-lifecycle counter snapshot.
+type DomainStats struct {
+	ID    int32
+	Label string
+	// Scheduled counts local Schedule calls; Sent counts cross-domain
+	// sends originated here; Delivered counts cross-domain messages
+	// materialized into this domain's queue.
+	Scheduled, Sent, Delivered uint64
+	// Fired, Cancelled, Recycled track the event lifecycle. Every
+	// allocated event is eventually recycled exactly once.
+	Fired, Cancelled, Recycled uint64
+	// Stalls counts rounds where this domain had work within the run
+	// window but its conservative horizon did not yet cover it.
+	Stalls uint64
+}
+
+// xmsg is a timestamped cross-domain message: "run fn in the receiving
+// domain at virtual time at". (dom, seq) is the sender's unique key,
+// which slots the message into the deterministic global merge order
+// (at, dom, seq) no matter when the channel delivery happens.
+type xmsg struct {
+	at     time.Duration
+	dom    int32
+	seq    uint64
+	fn     func()
+	cancel *atomic.Uint32
+}
+
+// Domain is one sequential event timeline: a per-physical-node (or
+// control) event queue carrying its own virtual clock, sequence
+// counter, RNG stream, and free list. All code running inside a domain
+// is single-threaded with respect to that domain, exactly as all code
+// was single-threaded under the old global Loop. The only concurrent
+// surface is the inbox, which other domains append to under inMu.
+//
+// A Domain implements Clock, so sched.CPU, the routing protocols, and
+// the traffic tools take a domain-scoped handle without API changes.
+type Domain struct {
+	id    int32
+	label string
+	exec  *Executor
+
+	now  time.Duration
+	seq  uint64
+	heap []*event // 4-ary min-heap ordered by (at, dom, seq)
+	free *event   // recycled event structs
+	rng  *RNG
+
+	// digest folds the key of every fired event, in fire order.
+	digest uint64
+	stats  DomainStats
+
+	// horizon is the inclusive bound the current round may run to;
+	// written by the executor before dispatch, read by the worker.
+	horizon time.Duration
+
+	// lookIn is the minimum latency of any cross-domain edge into this
+	// domain (the conservative lookahead); maxTime when nothing sends
+	// here.
+	lookIn time.Duration
+
+	// inbox collects cross-domain messages between rounds. inboxMin
+	// caches the earliest timestamp so the executor's barrier checks
+	// don't scan. spare is the drained buffer kept for reuse.
+	inMu     sync.Mutex
+	inbox    []xmsg
+	inboxMin time.Duration
+	spare    []xmsg
+}
+
+// ID returns the domain's executor-assigned id (0 is the control
+// domain). Ids order the deterministic merge: at equal timestamps,
+// lower ids run first.
+func (d *Domain) ID() int32 { return d.id }
+
+// Label returns the name given at NewDomain time ("control" for the
+// control domain).
+func (d *Domain) Label() string { return d.label }
+
+// Now returns the domain's current virtual time.
+func (d *Domain) Now() time.Duration { return d.now }
+
+// RNG returns the domain's deterministic random stream. Each domain
+// forks its own stream at creation, so draws in one domain never
+// perturb another's sequence regardless of execution interleaving.
+func (d *Domain) RNG() *RNG { return d.rng }
+
+// Stats returns a snapshot of the domain's counters.
+func (d *Domain) Stats() DomainStats {
+	s := d.stats
+	s.ID, s.Label = d.id, d.label
+	return s
+}
+
+// ScheduleDigest returns the domain's fired-event digest.
+func (d *Domain) ScheduleDigest() uint64 { return d.digest }
+
+// ObserveInboundLatency lowers the domain's conservative lookahead to
+// lat if smaller. netem calls this once per inbound cross-domain link;
+// a zero latency forces the executor's sequential fallback, which stays
+// correct (and deterministic) but does not scale.
+func (d *Domain) ObserveInboundLatency(lat time.Duration) {
+	if lat < 0 {
+		lat = 0
+	}
+	if lat < d.lookIn {
+		d.lookIn = lat
+	}
+}
+
+// Schedule implements Clock: fn runs in this domain at Now()+delay.
+// It must only be called from code executing inside this domain (or at
+// a barrier: driver code between Run calls, or control-domain events).
+func (d *Domain) Schedule(delay time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("sim: Schedule with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	d.seq++
+	d.stats.Scheduled++
+	ev := d.alloc()
+	ev.at = d.now + delay
+	ev.dom = d.id
+	ev.seq = d.seq
+	ev.fn = fn
+	d.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// SendTo arranges for fn to run in dst at this domain's Now()+delay.
+// Same-domain sends degenerate to Schedule — identical cost and
+// ordering to the pre-domain loop. Cross-domain sends become
+// timestamped mailbox messages keyed by (at, sender id, sender seq), so
+// the destination merges them into exactly the slot a shared heap would
+// have used. The returned Timer stops either kind.
+func (d *Domain) SendTo(dst *Domain, delay time.Duration, fn func()) Timer {
+	if dst == d {
+		return d.Schedule(delay, fn)
+	}
+	if fn == nil {
+		panic("sim: SendTo with nil fn")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	d.seq++
+	d.stats.Sent++
+	cancel := new(atomic.Uint32)
+	m := xmsg{at: d.now + delay, dom: d.id, seq: d.seq, fn: fn, cancel: cancel}
+	dst.inMu.Lock()
+	dst.inbox = append(dst.inbox, m)
+	if m.at < dst.inboxMin {
+		dst.inboxMin = m.at
+	}
+	dst.inMu.Unlock()
+	return Timer{cancel: cancel}
+}
+
+// drainInbox materializes queued cross-domain messages into the heap.
+// Only the executor calls it, at a barrier (no workers running). Heap
+// keys are globally unique and totally ordered, so the append order of
+// the inbox — the one thing thread interleaving can vary — is
+// semantically invisible.
+func (d *Domain) drainInbox() {
+	d.inMu.Lock()
+	if len(d.inbox) == 0 {
+		d.inMu.Unlock()
+		return
+	}
+	msgs := d.inbox
+	d.inbox = d.spare[:0]
+	d.inboxMin = maxTime
+	d.inMu.Unlock()
+	for i := range msgs {
+		m := &msgs[i]
+		if m.cancel.Load() == timerStopped {
+			// Stopped before delivery: never materialized, nothing to
+			// recycle.
+			d.stats.Cancelled++
+		} else {
+			ev := d.alloc()
+			ev.at, ev.dom, ev.seq = m.at, m.dom, m.seq
+			ev.fn, ev.cancel = m.fn, m.cancel
+			d.push(ev)
+			d.stats.Delivered++
+		}
+		m.fn, m.cancel = nil, nil
+	}
+	d.spare = msgs[:0]
+}
+
+// next returns the earliest timestamp of any pending work (heap or
+// undelivered inbox), or maxTime when idle. Barrier-context only.
+func (d *Domain) next() time.Duration {
+	n := maxTime
+	if len(d.heap) > 0 {
+		n = d.heap[0].at
+	}
+	if d.inboxMin < n {
+		n = d.inboxMin
+	}
+	return n
+}
+
+// step runs the single earliest event. It reports false when the queue
+// is empty. Lazily-cancelled cross-domain events are recycled without
+// firing (and still report true: the queue made progress).
+func (d *Domain) step() bool {
+	if len(d.heap) == 0 {
+		return false
+	}
+	ev := d.pop()
+	if ev.at > d.now {
+		d.now = ev.at
+	}
+	fn := ev.fn
+	cancelled := ev.cancel != nil && !ev.cancel.CompareAndSwap(timerPending, timerFired)
+	if !cancelled {
+		// Fold the fired event's merge key before the struct recycles.
+		h := d.digest
+		h = (h ^ uint64(ev.at)) * fnvPrime
+		h = (h ^ uint64(uint32(ev.dom))) * fnvPrime
+		h = (h ^ ev.seq) * fnvPrime
+		d.digest = h
+	}
+	// Recycle before running so a Stop on the firing timer is a no-op
+	// and the struct is immediately reusable by fn's own Schedule calls.
+	d.recycle(ev)
+	if cancelled {
+		d.stats.Cancelled++
+		return true
+	}
+	d.stats.Fired++
+	fn()
+	return true
+}
+
+// runToHorizon is the worker-side round body: run every event at or
+// before the executor-assigned horizon. Nothing outside this domain is
+// touched except via SendTo, so domains in one round race on nothing.
+func (d *Domain) runToHorizon() {
+	h := d.horizon
+	stop := &d.exec.stopped
+	for len(d.heap) > 0 && d.heap[0].at <= h {
+		if stop.Load() {
+			return
+		}
+		d.step()
+	}
+}
+
+// alloc takes an event struct from the free list, or makes one.
+func (d *Domain) alloc() *event {
+	if ev := d.free; ev != nil {
+		d.free = ev.next
+		ev.next = nil
+		return ev
+	}
+	return &event{owner: d}
+}
+
+// recycle invalidates outstanding Timers for ev and returns it to the
+// free list. The callback reference is dropped here, not at pop time.
+func (d *Domain) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.cancel = nil
+	ev.next = d.free
+	d.free = ev
+	d.stats.Recycled++
+}
+
+// less orders events by the deterministic merge key (time, origin
+// domain, origin sequence). With a single domain this degenerates to
+// the classic (time, sequence) order.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.dom != b.dom {
+		return a.dom < b.dom
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the 4-ary heap.
+func (d *Domain) push(ev *event) {
+	ev.idx = len(d.heap)
+	d.heap = append(d.heap, ev)
+	d.siftUp(ev.idx)
+}
+
+// pop removes and returns the earliest event. The heap must be non-empty.
+func (d *Domain) pop() *event {
+	h := d.heap
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].idx = 0
+	h[n] = nil
+	d.heap = h[:n]
+	if n > 0 {
+		d.siftDown(0)
+	}
+	return ev
+}
+
+// remove deletes ev from the heap (timer cancellation) and recycles it.
+func (d *Domain) remove(ev *event) {
+	h := d.heap
+	i := ev.idx
+	n := len(h) - 1
+	if i != n {
+		h[i] = h[n]
+		h[i].idx = i
+	}
+	h[n] = nil
+	d.heap = h[:n]
+	if i != n {
+		d.siftDown(i)
+		d.siftUp(i)
+	}
+	d.stats.Cancelled++
+	d.recycle(ev)
+}
+
+func (d *Domain) siftUp(i int) {
+	h := d.heap
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !less(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].idx = i
+		i = parent
+	}
+	h[i] = ev
+	ev.idx = i
+}
+
+func (d *Domain) siftDown(i int) {
+	h := d.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		min := -1
+		first := 4*i + 1
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if min < 0 || less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if min < 0 || !less(h[min], ev) {
+			break
+		}
+		h[i] = h[min]
+		h[i].idx = i
+		i = min
+	}
+	h[i] = ev
+	ev.idx = i
+}

@@ -1,0 +1,426 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Executor coordinates a set of Domains under classic conservative
+// (lookahead-based) parallel discrete-event synchronization. Execution
+// proceeds in rounds:
+//
+//  1. Barrier: every domain's inbox is drained into its heap.
+//  2. Control phase: control-domain (id 0) events run one at a time,
+//     globally serialized, while they precede every node domain's next
+//     event — so topology changes, route recomputation, and driver
+//     callbacks observe a world where no node has advanced past them.
+//  3. Node phase: each node domain d with pending work is dispatched to
+//     a worker with an inclusive horizon
+//
+//     W(d) = min(until, ctrlNext-1, min_{e != d} eff(e) + lookahead(d) - 1)
+//
+//     where lookahead(d) is the minimum latency of any cross-domain
+//     link into d, and eff(e) is the earliest time domain e can act:
+//     its own next event, or — because an idle domain can be awakened
+//     by a message and then transmit — the earliest message any other
+//     domain could send it, min_{f != e} next(f) + lookahead(e). Any
+//     message that can still reach d arrives at or after
+//     min-other-eff + lookahead(d) > W(d), strictly in d's future, so
+//     running d up to W(d) can never receive a message from its past —
+//     the conservative-PDES safety condition. (eff uses one level of
+//     wake-up indirection; longer idle chains only make the true
+//     earliest influence later, so the bound stays conservative.)
+//
+// Determinism does not depend on thread scheduling: every event carries
+// a globally unique merge key (timestamp, origin domain id, origin
+// sequence), heaps pop in that total order, and cross-domain messages
+// carry their key with them. Runs with 1 worker and N workers execute
+// the identical event sequence per domain and produce byte-identical
+// schedule digests.
+//
+// If some domain's lookahead is zero (a cross-domain link with zero
+// delay), horizons cannot advance; the executor then falls back to
+// running the single globally minimal event sequentially. That is the
+// exact total order a single shared heap would have used, so the result
+// is still deterministic — it just doesn't scale.
+type Executor struct {
+	domains []*Domain
+	loop    *Loop
+	workers int
+	stopped atomic.Bool
+
+	workCh  chan *Domain
+	doneCh  chan *Domain
+	started bool
+	closed  bool
+
+	rounds    uint64
+	fallbacks uint64
+	scratch   []time.Duration
+	eff       []time.Duration
+}
+
+// NewExecutor returns an executor with the given worker budget and its
+// control domain (id 0) already created, seeded like NewLoop(seed).
+// NewExecutor(seed, 1).Loop() is behaviorally identical to the classic
+// single loop.
+func NewExecutor(seed int64, workers int) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	x := &Executor{workers: workers}
+	ctrl := &Domain{id: 0, label: "control", exec: x, rng: NewRNG(seed),
+		lookIn: maxTime, inboxMin: maxTime}
+	x.domains = []*Domain{ctrl}
+	x.loop = &Loop{Domain: ctrl, exec: x}
+	return x
+}
+
+// Loop returns the control-domain façade, which preserves the classic
+// sim.Loop API (Run, RunAll, Step, Schedule on the control timeline).
+func (x *Executor) Loop() *Loop { return x.loop }
+
+// Workers returns the configured worker budget.
+func (x *Executor) Workers() int { return x.workers }
+
+// NewDomain creates a node domain. Its RNG forks off the control
+// stream, so the draw sequence is fixed by creation order alone. All
+// domains must be created before the first Run.
+func (x *Executor) NewDomain(label string) *Domain {
+	ctrl := x.domains[0]
+	d := &Domain{id: int32(len(x.domains)), label: label, exec: x,
+		rng: ctrl.rng.Fork(), now: ctrl.now,
+		lookIn: maxTime, inboxMin: maxTime}
+	x.domains = append(x.domains, d)
+	return d
+}
+
+// Domains returns the live domain list (control first). Callers must
+// not mutate it.
+func (x *Executor) Domains() []*Domain { return x.domains }
+
+// Stats snapshots every domain's counters, control domain first.
+func (x *Executor) Stats() []DomainStats {
+	out := make([]DomainStats, len(x.domains))
+	for i, d := range x.domains {
+		out[i] = d.Stats()
+	}
+	return out
+}
+
+// Rounds returns how many parallel node-phase rounds have run.
+func (x *Executor) Rounds() uint64 { return x.rounds }
+
+// Fallbacks returns how many events ran through the sequential
+// zero-lookahead fallback.
+func (x *Executor) Fallbacks() uint64 { return x.fallbacks }
+
+// TotalFired sums fired events across domains.
+func (x *Executor) TotalFired() uint64 {
+	var n uint64
+	for _, d := range x.domains {
+		n += d.stats.Fired
+	}
+	return n
+}
+
+// ScheduleDigest folds every domain's fired-event digest in domain-id
+// order. Two runs of the same scenario match iff every domain fired the
+// same events in the same order — the byte-identical replay check the
+// worker-parity tests assert.
+func (x *Executor) ScheduleDigest() uint64 {
+	h := fnvOffset
+	for _, d := range x.domains {
+		h = (h ^ d.digest) * fnvPrime
+	}
+	return h
+}
+
+// Stop makes the current Run/RunAll return after events currently
+// executing complete. Safe to call from event callbacks.
+func (x *Executor) Stop() { x.stopped.Store(true) }
+
+// Pending reports scheduled events across all domains, including
+// not-yet-delivered cross-domain messages.
+func (x *Executor) Pending() int {
+	n := 0
+	for _, d := range x.domains {
+		n += len(d.heap)
+		d.inMu.Lock()
+		n += len(d.inbox)
+		d.inMu.Unlock()
+	}
+	return n
+}
+
+// Shutdown releases the worker goroutines. The executor remains usable
+// for single-domain stepping but must not Run multi-domain again.
+// Idempotent; harmless on never-started executors.
+func (x *Executor) Shutdown() {
+	if x.started && !x.closed {
+		x.closed = true
+		close(x.workCh)
+	}
+}
+
+// Run executes events until every domain's next event lies beyond
+// until, or Stop is called. Virtual time in every domain is advanced to
+// until when its work drains first, mirroring the classic Loop.Run
+// contract.
+func (x *Executor) Run(until time.Duration) {
+	x.stopped.Store(false)
+	if len(x.domains) == 1 {
+		d := x.domains[0]
+		for !x.stopped.Load() && len(d.heap) > 0 {
+			if d.heap[0].at > until {
+				d.now = until
+				return
+			}
+			d.step()
+		}
+		if d.now < until {
+			d.now = until
+		}
+		return
+	}
+	x.run(until, true)
+}
+
+// RunAll executes events until every queue is empty or Stop is called,
+// leaving each domain's clock at its last event. Under multi-domain
+// execution prefer Run(until): RunAll leaves domain clocks ragged,
+// which is fine for draining but makes "schedule more work afterwards"
+// ambiguous.
+func (x *Executor) RunAll() {
+	x.stopped.Store(false)
+	if len(x.domains) == 1 {
+		d := x.domains[0]
+		for !x.stopped.Load() && d.step() {
+		}
+		return
+	}
+	x.run(maxTime, false)
+}
+
+// step runs the single globally earliest event (Loop.Step façade).
+func (x *Executor) step() bool {
+	if len(x.domains) == 1 {
+		return x.domains[0].step()
+	}
+	x.deliverAll()
+	return x.stepGlobalMin()
+}
+
+func (x *Executor) ensureWorkers() {
+	if x.started {
+		return
+	}
+	x.started = true
+	n := x.workers
+	if n > len(x.domains)-1 {
+		n = len(x.domains) - 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	x.workCh = make(chan *Domain)
+	// doneCh is buffered for every domain so workers never block
+	// posting completions while the dispatcher is still handing out
+	// work — the classic dispatch/complete deadlock.
+	x.doneCh = make(chan *Domain, len(x.domains))
+	for i := 0; i < n; i++ {
+		go func() {
+			for d := range x.workCh {
+				d.runToHorizon()
+				x.doneCh <- d
+			}
+		}()
+	}
+}
+
+func (x *Executor) deliverAll() {
+	for _, d := range x.domains {
+		d.drainInbox()
+	}
+}
+
+// advanceAll moves every domain clock forward to t (never backward).
+// Called at control barriers so a control event at time t that touches
+// a node's clock schedules against the correct base.
+func (x *Executor) advanceAll(t time.Duration) {
+	for _, d := range x.domains {
+		if d.now < t {
+			d.now = t
+		}
+	}
+}
+
+// nodeNext returns the earliest pending timestamp over node domains.
+func (x *Executor) nodeNext() time.Duration {
+	min := maxTime
+	for _, d := range x.domains[1:] {
+		if n := d.next(); n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// stepGlobalMin runs the single event with the globally smallest merge
+// key — the sequential fallback. Inboxes must already be drained.
+func (x *Executor) stepGlobalMin() bool {
+	var best *Domain
+	for _, d := range x.domains {
+		if len(d.heap) == 0 {
+			continue
+		}
+		if best == nil || less(d.heap[0], best.heap[0]) {
+			best = d
+		}
+	}
+	if best == nil {
+		return false
+	}
+	best.step()
+	return true
+}
+
+// satAdd adds durations with saturation at maxTime.
+func satAdd(a, b time.Duration) time.Duration {
+	s := a + b
+	if s < a {
+		return maxTime
+	}
+	return s
+}
+
+// run is the multi-domain round loop described on Executor.
+func (x *Executor) run(until time.Duration, advance bool) {
+	x.ensureWorkers()
+	ctrl := x.domains[0]
+	if len(x.scratch) < len(x.domains)-1 {
+		x.scratch = make([]time.Duration, len(x.domains)-1)
+		x.eff = make([]time.Duration, len(x.domains)-1)
+	}
+	for {
+		if x.stopped.Load() {
+			return
+		}
+		x.deliverAll()
+
+		// Control phase. At equal timestamps the merge order (at, dom,
+		// seq) puts control (domain 0) first, so the limit comparison
+		// below is inclusive.
+		ranCtrl := false
+		for len(ctrl.heap) > 0 {
+			if x.stopped.Load() {
+				return
+			}
+			cn := ctrl.heap[0].at
+			lim := until
+			if nm := x.nodeNext(); nm < lim {
+				lim = nm
+			}
+			if cn > lim {
+				break
+			}
+			x.advanceAll(cn)
+			ctrl.step()
+			ranCtrl = true
+		}
+		if ranCtrl {
+			// Control work may have scheduled node events or sent
+			// messages; restart the round from the delivery barrier.
+			continue
+		}
+
+		// Node phase: per-domain next-event times and the two smallest
+		// (so the minimum "next of any other domain" is O(1) each).
+		ctrlNext := maxTime
+		if len(ctrl.heap) > 0 {
+			ctrlNext = ctrl.heap[0].at
+		}
+		min1, min2 := maxTime, maxTime
+		minIdx := -1
+		for i, d := range x.domains[1:] {
+			nt := d.next()
+			x.scratch[i] = nt
+			if nt < min1 {
+				min2, min1, minIdx = min1, nt, i
+			} else if nt < min2 {
+				min2 = nt
+			}
+		}
+		if min1 > until {
+			// The control loop already ran everything at or before
+			// min(until, nodeNext), so nothing within the window
+			// remains anywhere.
+			if advance {
+				x.advanceAll(until)
+			}
+			return
+		}
+
+		// Earliest-possible-action time per domain: its next event, or
+		// the earliest wake-up message another domain could send it.
+		emin1, emin2 := maxTime, maxTime
+		emIdx := -1
+		for i, d := range x.domains[1:] {
+			other := min1
+			if i == minIdx {
+				other = min2
+			}
+			eff := x.scratch[i]
+			if wake := satAdd(other, d.lookIn); wake < eff {
+				eff = wake
+			}
+			x.eff[i] = eff
+			if eff < emin1 {
+				emin2, emin1, emIdx = emin1, eff, i
+			} else if eff < emin2 {
+				emin2 = eff
+			}
+		}
+
+		dispatched := 0
+		for i, d := range x.domains[1:] {
+			nt := x.scratch[i]
+			if nt == maxTime {
+				continue
+			}
+			other := emin1
+			if i == emIdx {
+				other = emin2
+			}
+			h := satAdd(other, d.lookIn) - 1
+			if ctrlNext-1 < h {
+				h = ctrlNext - 1
+			}
+			if until < h {
+				h = until
+			}
+			if nt > h {
+				if nt <= until {
+					d.stats.Stalls++
+				}
+				continue
+			}
+			d.horizon = h
+			dispatched++
+			x.workCh <- d
+		}
+		if dispatched == 0 {
+			// Zero lookahead somewhere: run exactly one globally
+			// minimal event sequentially. Identical total order to a
+			// shared heap, so determinism holds; only parallelism is
+			// lost.
+			x.fallbacks++
+			x.stepGlobalMin()
+			continue
+		}
+		for i := 0; i < dispatched; i++ {
+			<-x.doneCh
+		}
+		x.rounds++
+	}
+}

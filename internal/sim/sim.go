@@ -1,27 +1,37 @@
 // Package sim provides the discrete-event simulation kernel used by the
-// VINI substrate: a virtual clock, an event loop with deterministic
-// ordering, and cancellable timers.
+// VINI substrate: a virtual clock, deterministic event ordering, and
+// cancellable timers.
 //
-// All simulated components (links, CPU schedulers, routing protocols,
-// traffic generators) are driven from a single Loop, so no locking is
-// required inside simulated code. Components written against the Clock
-// interface also run unmodified on a real clock (see RealClock), which is
-// how the live overlay in internal/overlay reuses the protocol
-// implementations.
+// Time is organized into Domains — sequential event timelines, one per
+// physical node plus one control timeline — coordinated by an Executor
+// that runs independent domains on parallel workers under conservative
+// (lookahead-based) synchronization. Events are totally ordered by the
+// merge key (timestamp, origin domain id, origin sequence), so results
+// are byte-identical regardless of GOMAXPROCS or thread interleaving.
+// See Executor for the synchronization algorithm.
 //
-// The event queue is a typed 4-ary min-heap over *event (no interface
-// boxing, better cache locality than binary for pop-heavy workloads) and
-// event structs recycle through a free list, so the steady-state
-// schedule/fire cycle does not allocate.
+// Loop is the classic single-timeline façade: NewLoop returns a
+// one-domain executor whose behavior is identical to the historical
+// global loop, and all simulated components written against the Clock
+// interface run unmodified inside a Domain, on a Loop, or on a real
+// clock (see RealClock, which is how the live overlay in
+// internal/overlay reuses the protocol implementations).
+//
+// Each domain's event queue is a typed 4-ary min-heap over *event (no
+// interface boxing, better cache locality than binary for pop-heavy
+// workloads) and event structs recycle through a per-domain free list,
+// so the steady-state schedule/fire cycle does not allocate.
 package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
 // Clock is the scheduling surface protocol code is written against.
-// Implementations: *Loop (virtual time) and *RealClock (wall time).
+// Implementations: *Loop and *Domain (virtual time) and *RealClock
+// (wall time).
 type Clock interface {
 	// Now returns the current time as an offset from the start of the run.
 	Now() time.Duration
@@ -34,242 +44,99 @@ type Clock interface {
 // zero Timer is valid and Stop on it is a no-op. Because events recycle
 // through a free list, the handle carries a generation stamp — a Timer
 // whose event has fired (and possibly been reused) safely does nothing.
+// Timers returned by Domain.SendTo for cross-domain sends carry a
+// shared cancellation flag instead of a heap reference, since the
+// destination heap belongs to another worker.
 type Timer struct {
 	ev  *event
 	gen uint32
+	// cancel backs cross-domain timers (lazy cancellation).
+	cancel *atomic.Uint32
 	// real backs RealClock timers.
 	real *time.Timer
 }
 
 // Stop cancels the timer. It reports whether the call was cancelled before
 // running. Stopping an already-fired, already-stopped, or zero Timer is a
-// no-op. Cancelling removes the event from the queue immediately, so the
-// callback closure (and anything it captures) is released right away
-// rather than being retained until its deadline pops.
+// no-op. For in-domain timers, cancelling removes the event from the
+// queue immediately, so the callback closure (and anything it captures)
+// is released right away rather than being retained until its deadline
+// pops. Cross-domain timers cancel lazily: the flag flips now and the
+// owning domain discards the message at delivery or fire time, so the
+// event is recycled exactly once no matter which side wins the race.
 func (t Timer) Stop() bool {
 	if t.real != nil {
 		return t.real.Stop()
 	}
+	if t.cancel != nil {
+		return t.cancel.CompareAndSwap(timerPending, timerStopped)
+	}
 	if t.ev == nil || t.ev.gen != t.gen {
 		return false
 	}
-	t.ev.loop.remove(t.ev)
+	t.ev.owner.remove(t.ev)
 	return true
 }
 
 // IsZero reports whether the timer was never set (the zero value).
 // Callers use it where a nil *Timer check would have appeared.
-func (t Timer) IsZero() bool { return t.ev == nil && t.real == nil }
+func (t Timer) IsZero() bool { return t.ev == nil && t.cancel == nil && t.real == nil }
 
 type event struct {
-	at   time.Duration
-	seq  uint64 // tie-break so same-time events run in schedule order
-	fn   func()
-	idx  int    // position in the heap
-	gen  uint32 // incremented on recycle; stale Timers compare unequal
-	loop *Loop
-	next *event // free-list link
+	at  time.Duration
+	dom int32  // origin domain id (merge-key component)
+	seq uint64 // origin sequence; ties break in schedule order
+	fn  func()
+	idx int    // position in the heap
+	gen uint32 // incremented on recycle; stale Timers compare unequal
+	// cancel is non-nil for cross-domain events (lazy cancellation).
+	cancel *atomic.Uint32
+	owner  *Domain
+	next   *event // free-list link
 }
 
-// Loop is a single-threaded discrete-event loop with virtual time.
-// The zero value is not usable; call NewLoop.
+// Loop is the single-timeline façade over a one-or-more-domain
+// Executor. It embeds the control domain, so it is a Clock (Now,
+// Schedule, RNG act on the control timeline), and its Run family
+// drives the whole executor. The zero value is not usable; call
+// NewLoop or Executor.Loop.
 type Loop struct {
-	now     time.Duration
-	seq     uint64
-	heap    []*event // 4-ary min-heap ordered by (at, seq)
-	free    *event   // recycled event structs
-	stopped bool
-	rng     *RNG
+	*Domain
+	exec *Executor
 }
 
-// NewLoop returns a Loop whose clock starts at zero and whose RNG is
-// seeded with seed (runs with equal seeds are bit-identical).
+// NewLoop returns a single-domain Loop whose clock starts at zero and
+// whose RNG is seeded with seed (runs with equal seeds are
+// bit-identical). Behavior matches the historical global event loop
+// exactly.
 func NewLoop(seed int64) *Loop {
-	return &Loop{rng: NewRNG(seed)}
+	return NewExecutor(seed, 1).Loop()
 }
 
-// Now returns the current virtual time.
-func (l *Loop) Now() time.Duration { return l.now }
-
-// RNG returns the loop's deterministic random source.
-func (l *Loop) RNG() *RNG { return l.rng }
-
-// Schedule implements Clock.
-func (l *Loop) Schedule(d time.Duration, fn func()) Timer {
-	if fn == nil {
-		panic("sim: Schedule with nil fn")
-	}
-	if d < 0 {
-		d = 0
-	}
-	l.seq++
-	ev := l.alloc()
-	ev.at = l.now + d
-	ev.seq = l.seq
-	ev.fn = fn
-	l.push(ev)
-	return Timer{ev: ev, gen: ev.gen}
-}
-
-// alloc takes an event struct from the free list, or makes one.
-func (l *Loop) alloc() *event {
-	if ev := l.free; ev != nil {
-		l.free = ev.next
-		ev.next = nil
-		return ev
-	}
-	return &event{loop: l}
-}
-
-// recycle invalidates outstanding Timers for ev and returns it to the
-// free list. The callback reference is dropped here, not at pop time.
-func (l *Loop) recycle(ev *event) {
-	ev.gen++
-	ev.fn = nil
-	ev.next = l.free
-	l.free = ev
-}
-
-// less orders events by (time, schedule sequence).
-func less(a, b *event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-// push inserts ev into the 4-ary heap.
-func (l *Loop) push(ev *event) {
-	ev.idx = len(l.heap)
-	l.heap = append(l.heap, ev)
-	l.siftUp(ev.idx)
-}
-
-// pop removes and returns the earliest event. The heap must be non-empty.
-func (l *Loop) pop() *event {
-	h := l.heap
-	ev := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[0].idx = 0
-	h[n] = nil
-	l.heap = h[:n]
-	if n > 0 {
-		l.siftDown(0)
-	}
-	return ev
-}
-
-// remove deletes ev from the heap (timer cancellation) and recycles it.
-func (l *Loop) remove(ev *event) {
-	h := l.heap
-	i := ev.idx
-	n := len(h) - 1
-	if i != n {
-		h[i] = h[n]
-		h[i].idx = i
-	}
-	h[n] = nil
-	l.heap = h[:n]
-	if i != n {
-		l.siftDown(i)
-		l.siftUp(i)
-	}
-	l.recycle(ev)
-}
-
-func (l *Loop) siftUp(i int) {
-	h := l.heap
-	ev := h[i]
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !less(ev, h[parent]) {
-			break
-		}
-		h[i] = h[parent]
-		h[i].idx = i
-		i = parent
-	}
-	h[i] = ev
-	ev.idx = i
-}
-
-func (l *Loop) siftDown(i int) {
-	h := l.heap
-	n := len(h)
-	ev := h[i]
-	for {
-		min := -1
-		first := 4*i + 1
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first; c < last; c++ {
-			if min < 0 || less(h[c], h[min]) {
-				min = c
-			}
-		}
-		if min < 0 || !less(h[min], ev) {
-			break
-		}
-		h[i] = h[min]
-		h[i].idx = i
-		i = min
-	}
-	h[i] = ev
-	ev.idx = i
-}
+// Executor returns the coordinating executor (for creating node
+// domains and reading parallel-run statistics).
+func (l *Loop) Executor() *Executor { return l.exec }
 
 // Stop makes Run return after the event currently executing completes.
-func (l *Loop) Stop() { l.stopped = true }
+func (l *Loop) Stop() { l.exec.Stop() }
 
-// Pending reports the number of scheduled events. Cancelled events leave
-// the queue immediately, so this is exact.
-func (l *Loop) Pending() int { return len(l.heap) }
+// Pending reports the number of scheduled events across all domains.
+// Cancelled in-domain events leave the queue immediately, so with a
+// single domain this is exact.
+func (l *Loop) Pending() int { return l.exec.Pending() }
 
-// Step runs the single earliest event. It reports false when the queue is
-// empty.
-func (l *Loop) Step() bool {
-	if len(l.heap) == 0 {
-		return false
-	}
-	ev := l.pop()
-	if ev.at > l.now {
-		l.now = ev.at
-	}
-	fn := ev.fn
-	// Recycle before running so a Stop on the firing timer is a no-op and
-	// the struct is immediately reusable by fn's own Schedule calls.
-	l.recycle(ev)
-	fn()
-	return true
-}
+// Step runs the single globally earliest event. It reports false when
+// every queue is empty.
+func (l *Loop) Step() bool { return l.exec.step() }
 
-// Run executes events until the queue is empty, Stop is called, or the
+// Run executes events until every queue is empty, Stop is called, or the
 // next event lies beyond until. Virtual time is left at min(until, time of
 // last event run); it advances to until when the queue drains first.
-func (l *Loop) Run(until time.Duration) {
-	l.stopped = false
-	for !l.stopped && len(l.heap) > 0 {
-		if l.heap[0].at > until {
-			l.now = until
-			return
-		}
-		l.Step()
-	}
-	if l.now < until {
-		l.now = until
-	}
-}
+func (l *Loop) Run(until time.Duration) { l.exec.Run(until) }
 
 // RunAll executes events until the queue is empty or Stop is called.
 // Unlike Run, it leaves virtual time at the time of the last event run.
-func (l *Loop) RunAll() {
-	l.stopped = false
-	for !l.stopped && l.Step() {
-	}
-}
+func (l *Loop) RunAll() { l.exec.RunAll() }
 
 // RunUntilStable advances the loop in increments of step until the
 // system fingerprint stays unchanged for settle consecutive steps, or
@@ -289,22 +156,22 @@ func (l *Loop) RunUntilStable(step, max time.Duration, settle int, fingerprint f
 	if settle < 1 {
 		settle = 1
 	}
-	start := l.now
+	start := l.Now()
 	last := fingerprint()
 	stable := 0
-	for l.now-start < max {
-		l.Run(l.now + step)
+	for l.Now()-start < max {
+		l.Run(l.Now() + step)
 		if fp := fingerprint(); fp == last {
 			stable++
 			if stable >= settle {
-				return l.now - start, true
+				return l.Now() - start, true
 			}
 		} else {
 			last = fp
 			stable = 0
 		}
 	}
-	return l.now - start, false
+	return l.Now() - start, false
 }
 
 // RealClock adapts the wall clock to the Clock interface so protocol code

@@ -81,14 +81,18 @@ type scenario struct {
 func buildScenario(opts Options) (*scenario, error) {
 	rng := sim.NewRNG(opts.Seed)
 	n := opts.MinNodes + rng.Intn(opts.MaxNodes-opts.MinNodes+1)
+	vini := core.New(opts.Seed)
+	if opts.Workers > 0 {
+		vini = core.NewParallel(opts.Seed, opts.Workers)
+	}
 	sc := &scenario{
 		opts:      opts,
 		rng:       rng,
-		vini:      core.New(opts.Seed),
+		vini:      vini,
 		crashed:   make([]bool, n),
 		addrOwner: make(map[netip.Addr]int),
 		delivered: make([]int, n),
-		res:       &Result{Seed: opts.Seed},
+		res:       &Result{Seed: opts.Seed, Workers: opts.Workers},
 	}
 	prof := netem.DETERProfile()
 	for i := 0; i < n; i++ {

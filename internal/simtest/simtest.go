@@ -39,6 +39,14 @@ type Options struct {
 	// Events fixes the number of failure/recovery events; 0 draws
 	// 2..5 from the scenario RNG.
 	Events int
+	// Workers selects the execution engine: 0 runs the classic
+	// single-timeline loop; >= 1 shards every node into its own time
+	// domain executed by that many workers under conservative
+	// synchronization. Any Workers >= 1 must produce byte-identical
+	// results (that is the worker-parity property the CI matrix
+	// asserts); Workers = 0 is a different — also deterministic —
+	// baseline, because domain RNG streams fork differently.
+	Workers int
 	// Quiet suppresses nothing yet; reserved so the CLI flag surface
 	// stays stable.
 	Quiet bool
@@ -51,12 +59,21 @@ type Options struct {
 // run changes it.
 type Result struct {
 	Seed           int64
+	Workers        int
 	Nodes, Links   int
 	WithRIP        bool
 	EventLog       []string
 	Reconvergences []time.Duration
 	Violations     []string
 	Digest         uint64
+	// ScheduleDigest is the executor's fired-event digest: a fold over
+	// every fired event's (timestamp, domain, sequence) merge key. Two
+	// sharded runs match iff they executed the identical event
+	// schedule — the strongest replay check we have.
+	ScheduleDigest uint64
+	// FIBDigests records the quiescent FIB fingerprint at warmup and
+	// after each event, for fine-grained divergence reports.
+	FIBDigests []uint64
 }
 
 // Failed reports whether any invariant was violated.
@@ -122,7 +139,9 @@ func Run(opts Options) (*Result, error) {
 			fmt.Sprintf("initial convergence not reached within %v", maxConverge))
 	}
 	res.Violations = append(res.Violations, sc.checkpoint(baseline)...)
-	note(fmt.Sprintf("warmup fib=%016x", fibFingerprint(sc.vnode)))
+	fp := fibFingerprint(sc.vnode)
+	res.FIBDigests = append(res.FIBDigests, fp)
+	note(fmt.Sprintf("warmup fib=%016x", fp))
 
 	events := opts.Events
 	if events == 0 {
@@ -146,13 +165,17 @@ func Run(opts Options) (*Result, error) {
 		}
 		res.Reconvergences = append(res.Reconvergences, rec)
 		res.Violations = append(res.Violations, sc.checkpoint(baseline)...)
-		note(fmt.Sprintf("quiescent fib=%016x", fibFingerprint(sc.vnode)))
+		fp := fibFingerprint(sc.vnode)
+		res.FIBDigests = append(res.FIBDigests, fp)
+		note(fmt.Sprintf("quiescent fib=%016x", fp))
 	}
 
 	for _, v := range res.Violations {
 		note("violation " + v)
 	}
 	res.Digest = digest.Sum64()
+	res.ScheduleDigest = sc.vini.Executor().ScheduleDigest()
+	sc.vini.Close()
 	return res, nil
 }
 

@@ -57,11 +57,13 @@ func StartIperfTCP(w *netem.Network, client, server *netem.Node, cfg IperfTCPCon
 	for i := 0; i < cfg.Streams; i++ {
 		sport := cfg.BasePort + uint16(i) + 1000
 		dport := cfg.BasePort + uint16(i)
-		rcv := tcpm.NewReceiver(loop, tcpCfg, dst, dport, server.StackSend)
+		// Each endpoint's protocol machine runs on its own node's
+		// domain clock (identical to the loop in classic mode).
+		rcv := tcpm.NewReceiver(server.Clock(), tcpCfg, dst, dport, server.StackSend)
 		if err := server.StackListenTCP(dport, rcv.Deliver); err != nil {
 			return nil, err
 		}
-		snd := tcpm.NewSender(loop, tcpCfg, src, sport, dst, dport, client.StackSend)
+		snd := tcpm.NewSender(client.Clock(), tcpCfg, src, sport, dst, dport, client.StackSend)
 		if err := client.StackListenTCP(sport, snd.Deliver); err != nil {
 			return nil, err
 		}

@@ -34,7 +34,7 @@ type TracerouteConfig struct {
 // implement. Call Run, advance the simulation, then read Hops.
 type Traceroute struct {
 	host    *ICMPHost
-	loop    *sim.Loop
+	clock   sim.Clock
 	cfg     TracerouteConfig
 	Hops    []Hop
 	Done    bool
@@ -45,7 +45,7 @@ type Traceroute struct {
 }
 
 // StartTraceroute begins a trace through the host's node.
-func (h *ICMPHost) StartTraceroute(loop *sim.Loop, cfg TracerouteConfig) *Traceroute {
+func (h *ICMPHost) StartTraceroute(clock sim.Clock, cfg TracerouteConfig) *Traceroute {
 	if cfg.MaxTTL <= 0 {
 		cfg.MaxTTL = 16
 	}
@@ -55,7 +55,7 @@ func (h *ICMPHost) StartTraceroute(loop *sim.Loop, cfg TracerouteConfig) *Tracer
 	if cfg.Port == 0 {
 		cfg.Port = 33434
 	}
-	tr := &Traceroute{host: h, loop: loop, cfg: cfg}
+	tr := &Traceroute{host: h, clock: clock, cfg: cfg}
 	h.traces = append(h.traces, tr)
 	tr.probe(1)
 	return tr
@@ -70,10 +70,10 @@ func (tr *Traceroute) probe(ttl int) {
 		return
 	}
 	tr.current = ttl
-	tr.sentAt = tr.loop.Now()
+	tr.sentAt = tr.clock.Now()
 	d := packet.BuildUDP(tr.cfg.Src, tr.cfg.Dst, 44444, tr.cfg.Port+uint16(ttl), uint8(ttl), nil)
 	tr.host.node.StackSend(d)
-	tr.timer = tr.loop.Schedule(tr.cfg.Timeout, func() {
+	tr.timer = tr.clock.Schedule(tr.cfg.Timeout, func() {
 		tr.Hops = append(tr.Hops, Hop{TTL: ttl}) // * * *
 		tr.probe(ttl + 1)
 	})
@@ -107,7 +107,7 @@ func (tr *Traceroute) handleError(from netip.Addr, icmpType uint8, quote []byte)
 	if !tr.timer.IsZero() {
 		tr.timer.Stop()
 	}
-	tr.Hops = append(tr.Hops, Hop{TTL: tr.current, Addr: from, RTT: tr.loop.Now() - tr.sentAt})
+	tr.Hops = append(tr.Hops, Hop{TTL: tr.current, Addr: from, RTT: tr.clock.Now() - tr.sentAt})
 	if icmpType == packet.ICMPUnreachable || from == tr.cfg.Dst {
 		tr.finish()
 		return true

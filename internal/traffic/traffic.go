@@ -82,7 +82,7 @@ type PingSample struct {
 // Ping is a running echo client.
 type Ping struct {
 	host    *ICMPHost
-	loop    *sim.Loop
+	clock   sim.Clock
 	cfg     PingConfig
 	id      uint16
 	seq     uint16
@@ -99,8 +99,11 @@ type Ping struct {
 
 var nextPingID uint16 = 0x1000
 
-// StartPing launches a ping client through the host dispatcher.
-func (h *ICMPHost) StartPing(loop *sim.Loop, cfg PingConfig) *Ping {
+// StartPing launches a ping client through the host dispatcher. Under
+// parallel execution pass the host node's Clock(), so the echo tick and
+// the reply path share the node's time domain; on a classic loop any
+// clock handle is the same timeline.
+func (h *ICMPHost) StartPing(clock sim.Clock, cfg PingConfig) *Ping {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 200 * time.Millisecond
 	}
@@ -111,7 +114,7 @@ func (h *ICMPHost) StartPing(loop *sim.Loop, cfg PingConfig) *Ping {
 		cfg.Timeout = 2 * time.Second
 	}
 	nextPingID++
-	p := &Ping{host: h, loop: loop, cfg: cfg, id: nextPingID,
+	p := &Ping{host: h, clock: clock, cfg: cfg, id: nextPingID,
 		sent: make(map[uint16]time.Duration), timers: make(map[uint16]sim.Timer)}
 	h.clients[p.id] = p
 	p.tick()
@@ -133,13 +136,13 @@ func (p *Ping) tick() {
 	}
 	p.seq++
 	seq := p.seq
-	now := p.loop.Now()
+	now := p.clock.Now()
 	p.sent[seq] = now
 	p.Sent++
 	echo := packet.BuildICMPEcho(p.cfg.Src, p.cfg.Dst, false, p.id, seq, 64,
 		make([]byte, p.cfg.Payload))
 	p.host.node.StackSend(echo)
-	p.timers[seq] = p.loop.Schedule(p.cfg.Timeout, func() {
+	p.timers[seq] = p.clock.Schedule(p.cfg.Timeout, func() {
 		if at, ok := p.sent[seq]; ok {
 			delete(p.sent, seq)
 			delete(p.timers, seq)
@@ -147,7 +150,7 @@ func (p *Ping) tick() {
 			p.Timeline = append(p.Timeline, PingSample{At: at, Lost: true})
 		}
 	})
-	p.loop.Schedule(p.cfg.Interval, p.tick)
+	p.clock.Schedule(p.cfg.Interval, p.tick)
 }
 
 func (p *Ping) reply(seq uint16) {
@@ -160,7 +163,7 @@ func (p *Ping) reply(seq uint16) {
 		t.Stop()
 		delete(p.timers, seq)
 	}
-	rtt := p.loop.Now() - at
+	rtt := p.clock.Now() - at
 	p.RTTs.AddDuration(rtt)
 	p.Timeline = append(p.Timeline, PingSample{At: at, RTT: rtt})
 }

@@ -27,7 +27,12 @@ type UDPCBRConfig struct {
 // interarrival-jitter estimator) and loss from sequence gaps — the
 // quantities Tables 3/5/6 and Figure 6 report.
 type UDPCBR struct {
-	loop    *sim.Loop
+	// send is the client node's clock, recv the server's: under
+	// parallel execution the tick loop runs in the client's domain and
+	// the receive path in the server's, so each side reads its own
+	// timeline (identical in classic mode, where both are the loop).
+	send    sim.Clock
+	recv    sim.Clock
 	cfg     UDPCBRConfig
 	client  *netem.Node
 	src     netip.Addr
@@ -57,8 +62,8 @@ func StartUDPCBR(w *netem.Network, client, server *netem.Node, cfg UDPCBRConfig)
 	if cfg.Port == 0 {
 		cfg.Port = 5001
 	}
-	t := &UDPCBR{loop: w.Loop(), cfg: cfg, client: client,
-		src: client.Addr(), dst: server.Addr()}
+	t := &UDPCBR{send: client.Clock(), recv: server.Clock(), cfg: cfg,
+		client: client, src: client.Addr(), dst: server.Addr()}
 	if cfg.SrcAddr.IsValid() {
 		t.src = cfg.SrcAddr
 	}
@@ -81,12 +86,12 @@ func (t *UDPCBR) tick() {
 	}
 	payload := make([]byte, t.cfg.Payload)
 	binary.BigEndian.PutUint32(payload[0:4], t.seq)
-	binary.BigEndian.PutUint64(payload[4:12], uint64(t.loop.Now()))
+	binary.BigEndian.PutUint64(payload[4:12], uint64(t.send.Now()))
 	t.seq++
 	t.client.StackSend(packet.BuildUDP(t.src, t.dst, t.cfg.Port+1000, t.cfg.Port, 64, payload))
 	interval := time.Duration(float64(t.cfg.Payload+packet.UDPHeaderLen+packet.IPv4HeaderLen) *
 		8 / t.cfg.RateBps * float64(time.Second))
-	t.loop.Schedule(interval, t.tick)
+	t.send.Schedule(interval, t.tick)
 }
 
 func (t *UDPCBR) receive(dgram []byte) {
@@ -106,7 +111,7 @@ func (t *UDPCBR) receive(dgram []byte) {
 	if seq > t.maxSeq {
 		t.maxSeq = seq
 	}
-	transit := t.loop.Now() - sentAt
+	transit := t.recv.Now() - sentAt
 	t.TransitStats.AddDuration(transit)
 	if t.haveTrans {
 		d := transit - t.lastTrans
