@@ -11,11 +11,16 @@
 // Each -peer flag (repeatable) is remote,localIf,peerIf,prefix,cost.
 // The daemon prints its routing table whenever it changes and echoes any
 // UDP packet delivered to its tap address.
+//
+// With -metrics ADDR the daemon also serves its telemetry over HTTP:
+// Prometheus text exposition at /metrics, a JSON snapshot at
+// /metrics.json, and a liveness probe at /healthz.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -66,6 +71,7 @@ func main() {
 	hello := flag.Duration("hello", 5*time.Second, "OSPF hello interval")
 	dead := flag.Duration("dead", 10*time.Second, "OSPF router-dead interval")
 	name := flag.String("name", "iias", "node name for logs")
+	metrics := flag.String("metrics", "", "HTTP bind address for /metrics, /metrics.json and /healthz (empty disables)")
 	flag.Var(&peers, "peer", "remote,localIf,peerIf,prefix,cost (repeatable)")
 	flag.Parse()
 	if *tap == "" {
@@ -96,6 +102,15 @@ func main() {
 	}
 	fmt.Printf("[%s] listening on %s, tap %s, %d peers\n",
 		*name, node.LocalAddr(), tapAddr, len(peers))
+	if *metrics != "" {
+		go func() {
+			if err := http.ListenAndServe(*metrics, node.MetricsHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "iiasd: metrics:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("[%s] metrics on http://%s/metrics\n", *name, *metrics)
+	}
 	// Periodically report adjacencies and routes.
 	go func() {
 		var lastRoutes string

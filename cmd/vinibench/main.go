@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest|parallel] [-seed N] [-short] [-parallel N] [-v]
+//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest|parallel|telemetry] [-seed N] [-short] [-parallel N] [-v]
 package main
 
 import (
@@ -59,6 +59,53 @@ func main() {
 	run("fastpath", fastpath)
 	run("simtest", simtestExp)
 	run("parallel", parallelExp)
+	run("telemetry", telemetryExp)
+}
+
+// telemetryExp reruns the Figure 8 failure scenario with the telemetry
+// layer enabled and dumps what it captured: the metrics registry and
+// flight-recorder digests (the values the worker-parity property pins),
+// the convergence windows derived from the control-plane timeline, and
+// the per-domain executor profile. With -v it also emits the full JSON
+// snapshot, the machine-readable form the Section 5 harness reads.
+func telemetryExp() error {
+	e, err := experiment.NewAbilene(*seedFlag)
+	if err != nil {
+		return err
+	}
+	if _, err := e.Figure8(); err != nil {
+		return err
+	}
+	tel := e.V.Telemetry()
+	snap := tel.Snapshot()
+	fmt.Printf("metrics: %d series (digest %016x); flight recorder: %d events, %d dropped (digest %016x)\n",
+		len(snap.Metrics), snap.MetricsDigest, len(snap.Events), snap.Dropped, snap.FlightDigest)
+	fmt.Println("convergence after link events (first-class query over the timeline):")
+	for _, c := range snap.Convergences {
+		dir := "up"
+		if c.Down {
+			dir = "down"
+		}
+		fmt.Printf("  %-28s %-4s at t=%-8v %3d installs, converged in %v\n",
+			c.Link, dir, c.At, c.Installs, c.Duration)
+	}
+	prof := e.V.ExecutorProfile()
+	fmt.Printf("executor: %d workers, %d rounds, %d fallbacks\n",
+		prof.Workers, prof.Rounds, prof.Fallbacks)
+	if *verbose {
+		for _, d := range prof.Domains {
+			fmt.Printf("  dom %2d %-14s now=%-10v lookahead=%-8v fired=%-7d scheduled=%-7d sent=%-6d delivered=%-6d stalls=%d\n",
+				d.ID, d.Label, d.Now, d.Lookahead, d.Fired, d.Scheduled, d.Sent, d.Delivered, d.Stalls)
+		}
+		js, err := tel.SnapshotJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", js)
+	} else {
+		fmt.Println("(run with -v for the per-domain profile and the full JSON snapshot)")
+	}
+	return nil
 }
 
 // simtestExp sweeps seeded deterministic-simulation scenarios and
@@ -423,6 +470,14 @@ func fig8() error {
 		prev = p.RTTms
 	}
 	fmt.Println("paper: 76 ms -> failure at 10 s -> no replies until ~17 s -> brief ~110 ms -> 93 ms -> restore at 34 s -> brief ~87 ms -> 76 ms")
+	for _, c := range e.Convergences() {
+		dir := "restore"
+		if c.Down {
+			dir = "failure"
+		}
+		fmt.Printf("telemetry: %s %s at t=%v reconverged in %v (%d route installs)\n",
+			c.Link, dir, c.At, c.Duration, c.Installs)
+	}
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"vini/internal/fib"
 	"vini/internal/packet"
 	"vini/internal/sim"
+	"vini/internal/telemetry"
 )
 
 // tunnelRelease models the substrate's tunnel transport on the fast path:
@@ -88,6 +89,86 @@ func TestForwardingFastPathZeroAlloc(t *testing.T) {
 	}
 	if tun.sent == 0 {
 		t.Fatal("no packets reached the tunnel transport")
+	}
+}
+
+// TestInstrumentedFastPathZeroAlloc guards the telemetry overhead
+// budget: the same forwarding chain with per-element counters, the
+// packet-trace hook, and a flight recorder attached must still run at 0
+// allocations per packet — for ordinary packets (whose only added cost
+// is one Paint comparison in the trace hook) and for painted packets
+// (whose every element hop lands in the recorder ring).
+func TestInstrumentedFastPathZeroAlloc(t *testing.T) {
+	loop := sim.NewLoop(1)
+	local := netip.MustParseAddr("198.32.154.40")
+	tun := &tunnelRelease{local: local}
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(0)
+	rec.EnsureDomain(loop.Domain.ID())
+	scope := reg.Scope("iias", "fwdr")
+	ctx := &click.Context{
+		Clock: loop, RNG: loop.RNG(),
+		FIB:       fib.New(),
+		Encap:     fib.NewEncapTable(),
+		Tunnels:   tun,
+		Tap:       tapDiscard{},
+		LocalAddr: packet.Flow{Src: netip.MustParseAddr("10.1.0.1")},
+		Metrics:   scope,
+		Trace: func(el, ev string, p *packet.Packet) {
+			if p != nil && p.Anno.Paint == telemetry.TracePaint {
+				rec.Record(loop.Domain, telemetry.Event{
+					Kind: telemetry.EvPacket, Slice: "iias", Node: "fwdr",
+					Elem: el, Detail: ev, Value: int64(p.Len()),
+				})
+			}
+		},
+	}
+	nh := netip.MustParseAddr("10.1.128.2")
+	ctx.FIB.Add(fib.Route{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: nh, OutPort: 0})
+	ctx.Encap.Set(fib.EncapEntry{NextHop: nh, Remote: netip.MustParseAddr("198.32.154.41"), Port: 33000})
+	r, err := click.ParseConfig(ctx, `
+		fromtun :: FromTunnel;
+		chk :: CheckIPHeader;
+		dec :: DecIPTTL;
+		rt :: LookupIPRoute;
+		encap :: EncapTunnel;
+		fromtun -> chk; chk[0] -> dec; dec[0] -> rt; rt[0] -> encap;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Initialize(); err != nil {
+		t.Fatal(err)
+	}
+	tmpl := packet.BuildUDP(netip.MustParseAddr("10.1.0.9"), netip.MustParseAddr("10.1.0.7"),
+		1, 2, 64, make([]byte, 1400))
+	forward := func(paint int) {
+		p := packet.Get()
+		copy(p.Extend(len(tmpl)), tmpl)
+		p.Anno.Paint = paint
+		r.Push("fromtun", 0, p)
+	}
+	for i := 0; i < 32; i++ {
+		forward(0)
+		forward(telemetry.TracePaint)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(200, func() { forward(0) }); allocs != 0 {
+		t.Fatalf("instrumented fast path (unpainted): %.1f allocs/packet, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { forward(telemetry.TracePaint) }); allocs != 0 {
+		t.Fatalf("instrumented fast path (painted): %.1f allocs/packet, want 0", allocs)
+	}
+	if tun.sent == 0 {
+		t.Fatal("no packets reached the tunnel transport")
+	}
+	// The instrumentation actually observed the traffic.
+	if c := reg.FindCounter("iias", "fwdr", "click/encap/sent"); c == nil || c.Value() == 0 {
+		t.Fatal("click/encap/sent counter missing or zero")
+	}
+	hops := telemetry.PacketPath(rec.Events())
+	if len(hops) == 0 {
+		t.Fatal("painted packets left no trace in the flight recorder")
 	}
 }
 

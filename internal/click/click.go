@@ -19,6 +19,7 @@ import (
 	"vini/internal/fib"
 	"vini/internal/packet"
 	"vini/internal/sim"
+	"vini/internal/telemetry"
 )
 
 // Element is a Click element: it receives packets on numbered input ports
@@ -111,6 +112,9 @@ type Context struct {
 	LocalAddr packet.Flow // only Src used; kept as Flow for future demux
 	// Trace, when set, receives life-of-a-packet events.
 	Trace func(element, event string, p *packet.Packet)
+	// Metrics, when set, is the telemetry scope this router's elements
+	// publish counters into (each element under a "<name>/" prefix).
+	Metrics *telemetry.Scope
 }
 
 // TunnelTransport sends an encapsulated overlay packet to a remote
@@ -231,12 +235,31 @@ func (r *Router) Connect(from string, fromPort int, to string, toPort int) error
 	return nil
 }
 
-// Initialize runs element initializers in declaration order.
+// Instrumentable is implemented by elements that publish counters into
+// a telemetry scope. Instrument is called once, after Initialize, with
+// a scope prefixed by the element's instance name; handles grabbed
+// there are nil-safe, so uninstrumented routers pay one nil check per
+// counter update.
+type Instrumentable interface {
+	Instrument(sc *telemetry.Scope)
+}
+
+// Initialize runs element initializers in declaration order, then (when
+// the context carries a telemetry scope) hands every Instrumentable
+// element its per-element scope. Declaration order makes metric
+// registration order — and therefore snapshot order — deterministic.
 func (r *Router) Initialize() error {
 	for _, name := range r.order {
 		if init, ok := r.elements[name].(Initializer); ok {
 			if err := init.Initialize(r.ctx); err != nil {
 				return fmt.Errorf("click: initialize %s: %w", name, err)
+			}
+		}
+	}
+	if r.ctx.Metrics != nil {
+		for _, name := range r.order {
+			if ins, ok := r.elements[name].(Instrumentable); ok {
+				ins.Instrument(r.ctx.Metrics.With("click/" + name + "/"))
 			}
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"vini/internal/fib"
 	"vini/internal/nat"
 	"vini/internal/packet"
+	"vini/internal/telemetry"
 )
 
 func init() {
@@ -63,6 +64,7 @@ func (e *passthrough) Push(port int, p *packet.Packet) {
 type discard struct {
 	base
 	count uint64
+	mDrop *telemetry.Counter
 }
 
 func newDiscard(name string, args []string) (Element, error) {
@@ -70,8 +72,10 @@ func newDiscard(name string, args []string) (Element, error) {
 }
 
 func (e *discard) Class() string { return "Discard" }
+func (e *discard) Instrument(sc *telemetry.Scope) { e.mDrop = sc.Counter("drops") }
 func (e *discard) Push(port int, p *packet.Packet) {
 	e.count++
+	e.mDrop.Inc()
 	e.trace("discard", p)
 	p.Release()
 }
@@ -87,6 +91,7 @@ func (e *discard) Handler(name, value string) (string, error) {
 type counter struct {
 	base
 	packets, bytes uint64
+	mPkts, mBytes  *telemetry.Counter
 }
 
 func newCounter(name string, args []string) (Element, error) {
@@ -94,9 +99,15 @@ func newCounter(name string, args []string) (Element, error) {
 }
 
 func (e *counter) Class() string { return "Counter" }
+func (e *counter) Instrument(sc *telemetry.Scope) {
+	e.mPkts = sc.Counter("packets")
+	e.mBytes = sc.Counter("bytes")
+}
 func (e *counter) Push(port int, p *packet.Packet) {
 	e.packets++
 	e.bytes += uint64(p.Len())
+	e.mPkts.Inc()
+	e.mBytes.Add(uint64(p.Len()))
 	e.out.Output(0, p)
 }
 
@@ -309,7 +320,8 @@ func matchClauses(cs []clause, b []byte) bool {
 // ones exit port 1 (or are dropped if port 1 is unconnected).
 type checkIPHeader struct {
 	base
-	bad uint64
+	bad  uint64
+	mBad *telemetry.Counter
 }
 
 func newCheckIPHeader(name string, args []string) (Element, error) {
@@ -317,10 +329,12 @@ func newCheckIPHeader(name string, args []string) (Element, error) {
 }
 
 func (e *checkIPHeader) Class() string { return "CheckIPHeader" }
+func (e *checkIPHeader) Instrument(sc *telemetry.Scope) { e.mBad = sc.Counter("bad") }
 func (e *checkIPHeader) Push(port int, p *packet.Packet) {
 	var ip packet.IPv4
 	if _, err := ip.Parse(p.Data); err != nil {
 		e.bad++
+		e.mBad.Inc()
 		e.trace("bad-ip", p)
 		e.out.Output(1, p)
 		return
@@ -340,7 +354,8 @@ func (e *checkIPHeader) Handler(name, value string) (string, error) {
 // ICMPError).
 type decIPTTL struct {
 	base
-	expired uint64
+	expired  uint64
+	mExpired *telemetry.Counter
 }
 
 func newDecIPTTL(name string, args []string) (Element, error) {
@@ -348,6 +363,7 @@ func newDecIPTTL(name string, args []string) (Element, error) {
 }
 
 func (e *decIPTTL) Class() string { return "DecIPTTL" }
+func (e *decIPTTL) Instrument(sc *telemetry.Scope) { e.mExpired = sc.Counter("expired") }
 func (e *decIPTTL) Push(port int, p *packet.Packet) {
 	if len(p.Data) < packet.IPv4HeaderLen {
 		p.Release()
@@ -356,6 +372,7 @@ func (e *decIPTTL) Push(port int, p *packet.Packet) {
 	ttl := p.Data[8]
 	if ttl <= 1 {
 		e.expired++
+		e.mExpired.Inc()
 		e.trace("ttl-expired", p)
 		e.out.Output(1, p)
 		return
@@ -383,7 +400,9 @@ type lookupIPRoute struct {
 	ctx        *Context
 	// cache serves repeated destinations without the shared-table lookup;
 	// it invalidates itself on every FIB version change.
-	cache *fib.Cache
+	cache    *fib.Cache
+	mLookups *telemetry.Counter
+	mNoroute *telemetry.Counter
 }
 
 func newLookupIPRoute(name string, args []string) (Element, error) {
@@ -413,15 +432,22 @@ func (e *lookupIPRoute) Initialize(ctx *Context) error {
 	return nil
 }
 
+func (e *lookupIPRoute) Instrument(sc *telemetry.Scope) {
+	e.mLookups = sc.Counter("lookups")
+	e.mNoroute = sc.Counter("noroute")
+}
+
 func (e *lookupIPRoute) Push(port int, p *packet.Packet) {
 	var ip packet.IPv4
 	if _, err := ip.Parse(p.Data); err != nil {
 		p.Release()
 		return
 	}
+	e.mLookups.Inc()
 	r, ok := e.cache.Lookup(ip.Dst)
 	if !ok {
 		e.noroute++
+		e.mNoroute.Inc()
 		e.trace("no-route", p)
 		if e.norouteOut >= 0 {
 			e.out.Output(e.norouteOut, p)
@@ -531,10 +557,17 @@ type encapTunnel struct {
 	cacheOK    bool
 	cacheV     uint64
 	cacheValid bool
+	mSent      *telemetry.Counter
+	mMisses    *telemetry.Counter
 }
 
 func newEncapTunnel(name string, args []string) (Element, error) {
 	return &encapTunnel{base: base{name: name}}, nil
+}
+
+func (e *encapTunnel) Instrument(sc *telemetry.Scope) {
+	e.mSent = sc.Counter("sent")
+	e.mMisses = sc.Counter("misses")
 }
 
 func (e *encapTunnel) Class() string { return "EncapTunnel" }
@@ -557,11 +590,13 @@ func (e *encapTunnel) Push(port int, p *packet.Packet) {
 	ent, ok := e.cacheEnt, e.cacheOK
 	if !ok {
 		e.misses++
+		e.mMisses.Inc()
 		e.trace("encap-miss", p)
 		p.Release()
 		return
 	}
 	e.sent++
+	e.mSent.Inc()
 	if e.out.Connected(ent.Tunnel) {
 		e.out.Output(ent.Tunnel, p)
 		return
@@ -628,6 +663,7 @@ type ipNAPT struct {
 	portLo, portHi uint16
 	tbl            *nat.Table
 	drops          uint64
+	mDrops         *telemetry.Counter
 }
 
 func newIPNAPT(name string, args []string) (Element, error) {
@@ -663,6 +699,7 @@ func newIPNAPT(name string, args []string) (Element, error) {
 }
 
 func (e *ipNAPT) Class() string { return "IPNAPT" }
+func (e *ipNAPT) Instrument(sc *telemetry.Scope) { e.mDrops = sc.Counter("drops") }
 func (e *ipNAPT) Initialize(ctx *Context) error {
 	now := func() time.Duration { return 0 }
 	if ctx.Clock != nil {
@@ -681,6 +718,7 @@ func (e *ipNAPT) Push(port int, p *packet.Packet) {
 		// forwards at zero allocations per packet.
 		if err := e.tbl.TranslateOutbound(p.Data); err != nil {
 			e.drops++
+			e.mDrops.Inc()
 			e.trace("napt-drop", p)
 			p.Release()
 			return
@@ -691,6 +729,7 @@ func (e *ipNAPT) Push(port int, p *packet.Packet) {
 		ok, err := e.tbl.TranslateInbound(p.Data)
 		if err != nil || !ok {
 			e.drops++
+			e.mDrops.Inc()
 			e.trace("napt-unmatched", p)
 			p.Release()
 			return
@@ -714,9 +753,10 @@ func (e *ipNAPT) Handler(name, value string) (string, error) {
 // netem device model or a BandwidthShaper) calls Pull.
 type queue struct {
 	base
-	cap   int
-	buf   []*packet.Packet
-	drops uint64
+	cap    int
+	buf    []*packet.Packet
+	drops  uint64
+	mDrops *telemetry.Counter
 }
 
 // Puller is the pull side of Queue, consumed by device drains.
@@ -739,9 +779,11 @@ func newQueue(name string, args []string) (Element, error) {
 }
 
 func (e *queue) Class() string { return "Queue" }
+func (e *queue) Instrument(sc *telemetry.Scope) { e.mDrops = sc.Counter("drops") }
 func (e *queue) Push(port int, p *packet.Packet) {
 	if len(e.buf) >= e.cap {
 		e.drops++
+		e.mDrops.Inc()
 		e.trace("tail-drop", p)
 		p.Release()
 		return
@@ -785,6 +827,7 @@ type bandwidthShaper struct {
 	buf     []*packet.Packet
 	busy    bool
 	drops   uint64
+	mDrops  *telemetry.Counter
 	ctx     *Context
 }
 
@@ -807,6 +850,7 @@ func newBandwidthShaper(name string, args []string) (Element, error) {
 }
 
 func (e *bandwidthShaper) Class() string { return "BandwidthShaper" }
+func (e *bandwidthShaper) Instrument(sc *telemetry.Scope) { e.mDrops = sc.Counter("drops") }
 func (e *bandwidthShaper) Initialize(ctx *Context) error {
 	if ctx.Clock == nil {
 		return fmt.Errorf("bandwidthshaper: no clock in context")
@@ -823,6 +867,7 @@ func (e *bandwidthShaper) Push(port int, p *packet.Packet) {
 	}
 	if len(e.buf) >= e.cap {
 		e.drops++
+		e.mDrops.Inc()
 		e.trace("shape-drop", p)
 		p.Release()
 		return
@@ -874,6 +919,7 @@ type linkFail struct {
 	active   bool
 	dropProb float64
 	dropped  uint64
+	mDrops   *telemetry.Counter
 	ctx      *Context
 }
 
@@ -908,15 +954,19 @@ func (e *linkFail) Initialize(ctx *Context) error {
 // harness uses this; the handler interface offers the same via strings).
 func (e *linkFail) SetActive(v bool) { e.active = v }
 
+func (e *linkFail) Instrument(sc *telemetry.Scope) { e.mDrops = sc.Counter("drops") }
+
 func (e *linkFail) Push(port int, p *packet.Packet) {
 	if e.active {
 		e.dropped++
+		e.mDrops.Inc()
 		e.trace("fail-drop", p)
 		p.Release()
 		return
 	}
 	if e.dropProb > 0 && e.ctx != nil && e.ctx.RNG != nil && e.ctx.RNG.Bool(e.dropProb) {
 		e.dropped++
+		e.mDrops.Inc()
 		e.trace("loss-drop", p)
 		p.Release()
 		return

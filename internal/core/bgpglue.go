@@ -7,6 +7,7 @@ import (
 	"vini/internal/bgp"
 	"vini/internal/fea"
 	"vini/internal/fib"
+	"vini/internal/telemetry"
 )
 
 // ConnectBGP attaches the slice to a BGP multiplexer (Section 6.1): the
@@ -35,6 +36,20 @@ func (s *Slice) ConnectBGP(mux *bgp.Mux, egress string, publicPrefix netip.Prefi
 		NextHop: evn.phys.Addr(),
 	}); err != nil {
 		return err
+	}
+	if tel := s.vini.tel; tel != nil {
+		// The mux speaker is clocked on the control loop at every call
+		// site (NewMux(v.Loop(), ...)), so session events record into
+		// the control ring.
+		mux.Speaker().OnEvent(func(peer, event string) {
+			tel.Rec.Record(s.vini.loop.Domain, telemetry.Event{
+				Kind:   telemetry.EvSession,
+				Slice:  s.cfg.Name,
+				Elem:   "bgp",
+				Node:   peer,
+				Detail: event,
+			})
+		})
 	}
 	// Redistribute the shared external view into every virtual node.
 	mux.Speaker().OnRoutes(func(external []fib.Route) {

@@ -14,6 +14,7 @@ import (
 	"vini/internal/netem"
 	"vini/internal/sched"
 	"vini/internal/sim"
+	"vini/internal/telemetry"
 	"vini/internal/topology"
 )
 
@@ -25,6 +26,8 @@ type VINI struct {
 	slices map[string]*Slice
 	order  []string
 	nextID int
+	// tel is the telemetry bundle (nil until EnableTelemetry).
+	tel *telemetry.Telemetry
 }
 
 // New creates an infrastructure on a fresh event loop: the classic
@@ -77,6 +80,9 @@ func (v *VINI) AddNode(name string, addr netip.Addr, prof netem.Profile, opt sch
 		return nil, err
 	}
 	v.graph.AddNode(name)
+	if v.tel != nil {
+		v.instrumentNode(n)
+	}
 	return n, nil
 }
 
@@ -89,6 +95,9 @@ func (v *VINI) AddLink(cfg netem.LinkConfig) (*netem.Link, error) {
 	v.graph.AddLink(topology.Link{A: cfg.A, B: cfg.B,
 		CostAB: uint32(cfg.Delay/time.Microsecond) + 1,
 		Delay:  cfg.Delay, Bandwidth: cfg.Bandwidth})
+	if v.tel != nil {
+		v.instrumentLink(l)
+	}
 	return l, nil
 }
 

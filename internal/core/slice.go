@@ -9,6 +9,7 @@ import (
 	"vini/internal/netem"
 	"vini/internal/ospf"
 	"vini/internal/rip"
+	"vini/internal/telemetry"
 )
 
 // Slice is one experiment: a set of virtual nodes joined by virtual
@@ -38,6 +39,9 @@ type VirtualLink struct {
 	A, B     *VirtualNode
 	AIf, BIf int
 	Cost     uint32
+	// name labels the link in telemetry events ("a-b", endpoint
+	// physical names), prebuilt so SetFailed does not allocate.
+	name string
 	// failed mirrors the Click LinkFail state on both directions.
 	failed bool
 }
@@ -132,7 +136,7 @@ func (s *Slice) ConnectVirtual(a, b string, cost uint32) (*VirtualLink, error) {
 	if err != nil {
 		return nil, err
 	}
-	vl := &VirtualLink{A: va, B: vb, AIf: ifA, BIf: ifB, Cost: cost}
+	vl := &VirtualLink{A: va, B: vb, AIf: ifA, BIf: ifB, Cost: cost, name: a + "-" + b}
 	s.vlinks = append(s.vlinks, vl)
 	return vl, nil
 }
@@ -156,6 +160,22 @@ func (vl *VirtualLink) SetFailed(v bool) {
 	vl.failed = v
 	vl.A.setTunnelFailed(vl.AIf, v)
 	vl.B.setTunnelFailed(vl.BIf, v)
+	s := vl.A.slice
+	if tel := s.vini.tel; tel != nil {
+		detail := "up"
+		if v {
+			detail = "down"
+		}
+		// SetFailed runs on the control timeline (driver calls,
+		// scheduled failures, physical upcalls), so the control ring is
+		// the writer.
+		tel.Rec.Record(s.vini.loop.Domain, telemetry.Event{
+			Kind:   telemetry.EvLink,
+			Slice:  s.cfg.Name,
+			Elem:   vl.name,
+			Detail: detail,
+		})
+	}
 }
 
 // Failed reports the injected-failure state.
@@ -254,6 +274,18 @@ func (vn *VirtualNode) startOSPF(hello, dead time.Duration) {
 	}
 	vn.OSPF = r
 	r.OnRoutes(func(routes []fib.Route) { vn.installProtocolRoutes("ospf", routes) })
+	if tel := vn.slice.vini.tel; tel != nil {
+		r.OnNeighborEvent(func(iface int, id uint32, state string) {
+			tel.Rec.Record(vn.phys.Domain(), telemetry.Event{
+				Kind:   telemetry.EvNeighbor,
+				Slice:  vn.slice.cfg.Name,
+				Node:   vn.phys.Name(),
+				Elem:   "ospf",
+				Detail: state,
+				Value:  int64(id),
+			})
+		})
+	}
 	r.Start()
 }
 
@@ -271,5 +303,17 @@ func (vn *VirtualNode) startRIP(update time.Duration) {
 	}
 	vn.RIP = r
 	r.OnRoutes(func(routes []fib.Route) { vn.installProtocolRoutes("rip", routes) })
+	if tel := vn.slice.vini.tel; tel != nil {
+		r.OnEvent(func(event string, n int) {
+			tel.Rec.Record(vn.phys.Domain(), telemetry.Event{
+				Kind:   telemetry.EvSession,
+				Slice:  vn.slice.cfg.Name,
+				Node:   vn.phys.Name(),
+				Elem:   "rip",
+				Detail: event,
+				Value:  int64(n),
+			})
+		})
+	}
 	r.Start()
 }

@@ -13,6 +13,7 @@ import (
 	"vini/internal/packet"
 	"vini/internal/rip"
 	"vini/internal/sim"
+	"vini/internal/telemetry"
 )
 
 // LookupIPRoute output-port convention in the generated IIAS config.
@@ -118,6 +119,24 @@ func newVirtualNode(s *Slice, phys *netem.Node, tap netip.Addr) (*VirtualNode, e
 		Share:  s.cfg.CPUShare,
 		Strict: s.cfg.Strict,
 	})
+	tel := s.vini.tel
+	var metrics *telemetry.Scope
+	if tel != nil {
+		metrics = tel.Reg.Scope(s.cfg.Name, phys.Name())
+		vn.proc.Task().Instrument(metrics.Counter("proc/cpu_ns"),
+			metrics.Histogram("proc/wake_latency"))
+		// Route installs land in the flight recorder from the domain
+		// the triggering protocol runs in (this node's).
+		vn.rib.OnInstall(func(proto string, n int) {
+			tel.Rec.Record(phys.Domain(), telemetry.Event{
+				Kind:  telemetry.EvRoute,
+				Slice: s.cfg.Name,
+				Node:  phys.Name(),
+				Elem:  proto,
+				Value: int64(n),
+			})
+		})
+	}
 	ctx := &click.Context{
 		Clock:     vn.clock,
 		RNG:       phys.Domain().RNG().Fork(),
@@ -128,9 +147,20 @@ func newVirtualNode(s *Slice, phys *netem.Node, tap netip.Addr) (*VirtualNode, e
 		External:  (*externalSink)(vn),
 		VPN:       (*vpnSink)(vn),
 		LocalAddr: packet.Flow{Src: tap},
+		Metrics:   metrics,
 		Trace: func(el, ev string, p *packet.Packet) {
 			if vn.Trace != nil {
 				vn.Trace(el, ev, p)
+			}
+			if tel != nil && p != nil && p.Anno.Paint == telemetry.TracePaint {
+				tel.Rec.Record(phys.Domain(), telemetry.Event{
+					Kind:   telemetry.EvPacket,
+					Slice:  s.cfg.Name,
+					Node:   phys.Name(),
+					Elem:   el,
+					Detail: ev,
+					Value:  int64(p.Len()),
+				})
 			}
 		},
 	}

@@ -15,6 +15,7 @@ import (
 	"vini/internal/netem"
 	"vini/internal/rcc"
 	"vini/internal/sched"
+	"vini/internal/telemetry"
 	"vini/internal/topology"
 	"vini/internal/traffic"
 )
@@ -93,6 +94,7 @@ type ArrivalPoint struct {
 // Gigabit Ethernet.
 func deterNet(seed int64) (*core.VINI, *netem.Node, *netem.Node, *netem.Node) {
 	v := core.New(seed)
+	v.EnableTelemetry()
 	prof := netem.DETERProfile()
 	src, _ := v.AddNode("src", netip.MustParseAddr("192.168.1.1"), prof, sched.Options{})
 	fwd, _ := v.AddNode("fwdr", netip.MustParseAddr("192.168.1.2"), prof, sched.Options{})
@@ -150,8 +152,17 @@ func Table2(seed int64, overlay bool, duration time.Duration) (ThroughputResult,
 		b, _ := s.VirtualNode("sink")
 		cfg.SrcAddr, cfg.DstAddr = a.TapAddr, b.TapAddr
 	}
+	// The CPU column reads from the telemetry registry: the counters
+	// mirror the scheduler's own accounting increment-for-increment, so
+	// a counter delta over the measurement window divided by the same
+	// elapsed time is bit-identical to TaskUtilization/KernelUtilization.
+	cpuCounter := v.Telemetry().Reg.FindCounter("phys", "fwdr", "kernel/cpu_ns")
+	if overlay {
+		cpuCounter = v.Telemetry().Reg.FindCounter("iias", "fwdr", "proc/cpu_ns")
+	}
 	start := v.Loop().Now()
 	fwd.ResetAccounting()
+	cpu0 := cpuCounter.Value()
 	test, err := traffic.StartIperfTCP(v.Net, src, dst, cfg)
 	if err != nil {
 		return ThroughputResult{}, err
@@ -159,11 +170,8 @@ func Table2(seed int64, overlay bool, duration time.Duration) (ThroughputResult,
 	v.Run(start + duration)
 	test.Stop()
 	res := ThroughputResult{Name: name, Mbps: test.Mbps()}
-	if overlay {
-		vn, _ := s.VirtualNode("fwdr")
-		res.CPU = fwd.CPU.TaskUtilization(vn.Proc().Task())
-	} else {
-		res.CPU = fwd.KernelUtilization()
+	if elapsed := v.Loop().Now() - start; elapsed > 0 {
+		res.CPU = float64(cpuCounter.Value()-cpu0) / float64(elapsed)
 	}
 	return res, nil
 }
@@ -433,6 +441,7 @@ func NewAbilene(seed int64) (*AbileneExperiment, error) {
 		return nil, err
 	}
 	v := core.New(seed)
+	v.EnableTelemetry()
 	for _, code := range g.Nodes() {
 		pop, _ := rcc.PopForCode(code)
 		addr, _ := topology.AbilenePublicAddr(pop)
@@ -480,6 +489,14 @@ func NewAbilene(seed int64) (*AbileneExperiment, error) {
 		return nil, fmt.Errorf("no Denver-Kansas City virtual link")
 	}
 	return &AbileneExperiment{V: v, Slice: s, Hello: hello, Dead: dead, denverKC: dkc}, nil
+}
+
+// Convergences returns the telemetry-derived convergence windows: for
+// every link failure/restore injected so far, the time from the event
+// to the last route install it triggered — the quantity Figure 8 makes
+// visible indirectly through RTT steps, as a first-class query.
+func (e *AbileneExperiment) Convergences() []telemetry.Convergence {
+	return telemetry.Convergences(e.V.Telemetry().Rec.Events())
 }
 
 // Figure8 runs the §5.2 ping experiment: echoes between Washington D.C.

@@ -41,7 +41,16 @@ type RIB struct {
 	// switchover lever ("controlling the forwarding tables ... in one
 	// virtual network at any given time, with atomic switchover").
 	preferred string
+	// onInstall observes FIB installs (telemetry hook): the protocol
+	// that triggered the recompute and the number of routes now
+	// installed. Fired outside the mutex.
+	onInstall func(proto string, n int)
 }
+
+// OnInstall registers an observer called after every FIB recompute with
+// the triggering protocol and the resulting installed-route count. The
+// callback runs outside the RIB lock, in the caller's clock domain.
+func (r *RIB) OnInstall(fn func(proto string, n int)) { r.onInstall = fn }
 
 // NewRIB returns a RIB feeding target.
 func NewRIB(target *fib.Table) *RIB {
@@ -53,14 +62,18 @@ func NewRIB(target *fib.Table) *RIB {
 // the FIB. dist is the protocol's administrative distance.
 func (r *RIB) SetRoutes(proto string, dist int, routes []fib.Route) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	prs := make([]protoRoute, 0, len(routes))
 	for _, rt := range routes {
 		rt.Proto = proto
 		prs = append(prs, protoRoute{Route: rt, dist: dist})
 	}
 	r.byProto[proto] = prs
-	r.recompute()
+	n := r.recompute()
+	fn := r.onInstall
+	r.mu.Unlock()
+	if fn != nil {
+		fn(proto, n)
+	}
 }
 
 // Prefer makes proto win route selection regardless of administrative
@@ -76,15 +89,20 @@ func (r *RIB) Prefer(proto string) {
 // RemoveProtocol withdraws everything a protocol contributed.
 func (r *RIB) RemoveProtocol(proto string) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	delete(r.byProto, proto)
-	r.recompute()
+	n := r.recompute()
+	fn := r.onInstall
+	r.mu.Unlock()
+	if fn != nil {
+		fn(proto, n)
+	}
 }
 
 // recompute picks, per prefix, the route with the lowest administrative
 // distance (metric breaks ties, then protocol name for determinism) and
-// atomically replaces the FIB contents.
-func (r *RIB) recompute() {
+// atomically replaces the FIB contents. It returns the number of routes
+// installed.
+func (r *RIB) recompute() int {
 	best := make(map[netip.Prefix]protoRoute)
 	for _, prs := range r.byProto {
 		for _, pr := range prs {
@@ -103,6 +121,7 @@ func (r *RIB) recompute() {
 		return routes[i].Prefix.String() < routes[j].Prefix.String()
 	})
 	r.target.Replace("rib", routes)
+	return len(routes)
 }
 
 func (r *RIB) better(pr, other protoRoute) bool {

@@ -5,6 +5,7 @@ import (
 
 	"vini/internal/packet"
 	"vini/internal/sim"
+	"vini/internal/telemetry"
 )
 
 // LinkConfig describes one physical link.
@@ -51,6 +52,16 @@ type linkDir struct {
 	// lastArrival keeps delivery FIFO under per-packet jitter: a link is
 	// a pipe, so a later packet never overtakes an earlier one.
 	lastArrival time.Duration
+	// Telemetry mirrors of the counters above; nil-safe, each direction
+	// written only from the source node's domain.
+	mPkts, mBytes, mDrops *telemetry.Counter
+}
+
+// Instrument attaches telemetry counters to one direction (0: A->B,
+// 1: B->A). Call from the driver before traffic flows.
+func (l *Link) Instrument(dir int, pkts, bytes, drops *telemetry.Counter) {
+	d := l.dir[dir]
+	d.mPkts, d.mBytes, d.mDrops = pkts, bytes, drops
 }
 
 // Config returns the link's configuration.
@@ -97,6 +108,7 @@ func (l *Link) transmit(src *Node, p *packet.Packet) {
 	}
 	if d.queued+p.Len() > l.cfg.QueueBytes {
 		d.Drops++
+		d.mDrops.Inc()
 		p.Release()
 		return
 	}
@@ -105,6 +117,11 @@ func (l *Link) transmit(src *Node, p *packet.Packet) {
 	d.busyUntil += wire
 	d.Packets++
 	d.Bytes += uint64(p.Len())
+	d.mPkts.Inc()
+	d.mBytes.Add(uint64(p.Len()))
+	if l.net.onPacket != nil {
+		l.net.onPacket(src, "link-tx", p)
+	}
 	delay := l.cfg.Delay
 	if l.cfg.Jitter > 0 {
 		delay += time.Duration(d.rng.Float64() * float64(l.cfg.Jitter))

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vini/internal/fib"
+	"vini/internal/packet"
 	"vini/internal/sched"
 	"vini/internal/sim"
 	"vini/internal/topology"
@@ -33,7 +34,21 @@ type Network struct {
 	// alarms receive physical-topology-change upcalls (Section 3.1's
 	// "exposure of underlying topology changes").
 	alarms []func(ev LinkEvent)
+	// onPacket, when set, observes substrate-level packet hops (node
+	// receive, link transmit). It runs in the domain the hop happens in
+	// and must not allocate or touch cross-domain state; telemetry uses
+	// it to trace painted packets across the physical network.
+	onPacket func(n *Node, event string, p *packet.Packet)
 }
+
+// OnPacket installs the substrate packet-hop observer. Driver-time only.
+func (w *Network) OnPacket(fn func(n *Node, event string, p *packet.Packet)) {
+	w.onPacket = fn
+}
+
+// Links returns the instantiated links in creation order. Callers must
+// not mutate the slice.
+func (w *Network) Links() []*Link { return w.links }
 
 // LinkEvent reports a physical link transition for upcalls to slices.
 type LinkEvent struct {

@@ -9,6 +9,7 @@ import (
 	"vini/internal/packet"
 	"vini/internal/sched"
 	"vini/internal/sim"
+	"vini/internal/telemetry"
 )
 
 // Node is one physical host: a kernel stack (addresses, route table,
@@ -55,6 +56,20 @@ type Node struct {
 	kernAcctFrom time.Duration
 	// Drops counts packets dropped for lack of any local consumer/route.
 	Drops uint64
+	// Telemetry mirrors (nil-safe): cumulative kernel CPU nanoseconds
+	// and kernel drops, written only from this node's domain.
+	mKernel, mDrops *telemetry.Counter
+}
+
+// Instrument attaches the node's telemetry counters. Driver-time only.
+func (n *Node) Instrument(kernelNS, drops *telemetry.Counter) {
+	n.mKernel, n.mDrops = kernelNS, drops
+}
+
+// drop records a kernel-level packet drop.
+func (n *Node) drop() {
+	n.Drops++
+	n.mDrops.Inc()
 }
 
 // StackHandler receives a full IP datagram delivered by the kernel.
@@ -139,7 +154,7 @@ func (n *Node) StackListenTCP(port uint16, h StackHandler) error {
 func (n *Node) InjectLocal(dgram []byte) {
 	var ip packet.IPv4
 	if _, err := ip.Parse(dgram); err != nil {
-		n.Drops++
+		n.drop()
 		return
 	}
 	p := packet.Get()
@@ -155,7 +170,10 @@ func (n *Node) AddTapRoute(prefix netip.Prefix, sock *Socket) {
 }
 
 // kernelCharge accounts d of kernel CPU time.
-func (n *Node) kernelCharge(d time.Duration) { n.kernelUsed += d }
+func (n *Node) kernelCharge(d time.Duration) {
+	n.kernelUsed += d
+	n.mKernel.Add(uint64(d))
+}
 
 // KernelUtilization reports the kernel CPU fraction since the last reset.
 func (n *Node) KernelUtilization() float64 {
@@ -187,6 +205,9 @@ func (n *Node) StackSend(dgram []byte) {
 
 // receive handles a packet arriving from a link.
 func (n *Node) receive(p *packet.Packet, from *Link) {
+	if n.net.onPacket != nil {
+		n.net.onPacket(n, "recv", p)
+	}
 	n.route(p, false)
 }
 
@@ -194,7 +215,7 @@ func (n *Node) receive(p *packet.Packet, from *Link) {
 func (n *Node) route(p *packet.Packet, fromLocal bool) {
 	var ip packet.IPv4
 	if _, err := ip.Parse(p.Data); err != nil {
-		n.Drops++
+		n.drop()
 		p.Release()
 		return
 	}
@@ -219,7 +240,7 @@ func (n *Node) route(p *packet.Packet, fromLocal bool) {
 	}
 	r, ok := n.routeCache.Lookup(ip.Dst)
 	if !ok {
-		n.Drops++
+		n.drop()
 		p.Release()
 		return
 	}
@@ -227,7 +248,7 @@ func (n *Node) route(p *packet.Packet, fromLocal bool) {
 		if ip.TTL <= 1 {
 			// Answer ICMP time exceeded from this router's address, so
 			// traceroute works across the substrate too.
-			n.Drops++
+			n.drop()
 			if ip.Proto != packet.ProtoICMP {
 				if reply := packet.BuildICMPError(n.addr, packet.ICMPTimeExceeded, 0, p.Data); reply != nil {
 					n.send(reply)
@@ -246,7 +267,7 @@ func (n *Node) route(p *packet.Packet, fromLocal bool) {
 // forwarding latency.
 func (n *Node) forwardOut(r fib.Route, p *packet.Packet) {
 	if r.OutPort < 0 || r.OutPort >= len(n.links) {
-		n.Drops++
+		n.drop()
 		p.Release()
 		return
 	}
@@ -267,7 +288,7 @@ func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 		var u packet.UDP
 		payload := p.Data[ip.HeaderLen:]
 		if _, err := u.Parse(payload); err != nil {
-			n.Drops++
+			n.drop()
 			p.Release()
 			return
 		}
@@ -286,7 +307,7 @@ func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 		}
 		// No listener: answer ICMP port unreachable, as the kernel does
 		// (traceroute's termination signal).
-		n.Drops++
+		n.drop()
 		if reply := packet.BuildICMPError(ip.Dst, packet.ICMPUnreachable, 3, p.Data); reply != nil {
 			n.send(reply)
 		}
@@ -295,7 +316,7 @@ func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 		var th packet.TCP
 		payload := p.Data[ip.HeaderLen:]
 		if _, err := th.Parse(payload); err != nil {
-			n.Drops++
+			n.drop()
 			p.Release()
 			return
 		}
@@ -308,7 +329,7 @@ func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 			s.enqueue(p)
 			return
 		}
-		n.Drops++
+		n.drop()
 		p.Release()
 	case packet.ProtoICMP:
 		if n.icmpTap != nil {
@@ -316,10 +337,10 @@ func (n *Node) deliverLocal(ip packet.IPv4, p *packet.Packet) {
 			n.icmpTap(p.Data)
 			return
 		}
-		n.Drops++
+		n.drop()
 		p.Release()
 	default:
-		n.Drops++
+		n.drop()
 		p.Release()
 	}
 }

@@ -126,6 +126,8 @@ type Router struct {
 	mySeq uint32
 	// onRoutes receives the post-SPF route table (the FEA hook).
 	onRoutes func([]fib.Route)
+	// onNeighbor observes adjacency state transitions (telemetry hook).
+	onNeighbor func(iface int, neighbor uint32, state string)
 	// lastRoutes is the most recently emitted route set (see Routes).
 	lastRoutes []fib.Route
 	spfPending bool
@@ -160,6 +162,19 @@ func (r *Router) AddInterface(ifc Interface) error {
 
 // OnRoutes installs the route sink invoked after every SPF run.
 func (r *Router) OnRoutes(fn func([]fib.Route)) { r.onRoutes = fn }
+
+// OnNeighborEvent installs an observer for adjacency state transitions
+// (Init, Full, Down). It fires in the router's clock domain; telemetry
+// uses it to populate the control-plane timeline.
+func (r *Router) OnNeighborEvent(fn func(iface int, neighbor uint32, state string)) {
+	r.onNeighbor = fn
+}
+
+func (r *Router) neighborEvent(iface int, id uint32, state string) {
+	if r.onNeighbor != nil {
+		r.onNeighbor(iface, id, state)
+	}
+}
 
 // Start begins hello transmission and originates the initial LSA.
 func (r *Router) Start() {
@@ -342,12 +357,15 @@ func (r *Router) handleHello(ifIndex int, src netip.Addr, id uint32, h Hello) {
 	switch {
 	case nb.state == nDown:
 		nb.state = nInit
+		r.neighborEvent(ifIndex, id, "Init")
 	case nb.state == nInit && twoWay:
 		r.adjacencyUp(nb)
+		r.neighborEvent(ifIndex, id, "Full")
 	case nb.state == nFull && !twoWay:
 		// Neighbor restarted and forgot us.
 		nb.state = nInit
 		r.originate()
+		r.neighborEvent(ifIndex, id, "Init")
 	}
 }
 
@@ -377,6 +395,7 @@ func (r *Router) neighborDead(ifIndex int, nb *neighbor) {
 		nb.rxmtTimer.Stop()
 	}
 	r.originate()
+	r.neighborEvent(ifIndex, nb.id, "Down")
 }
 
 // originate rebuilds and floods our router LSA.

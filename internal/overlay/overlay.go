@@ -10,7 +10,9 @@ package overlay
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"net/netip"
 	"sync"
 	"time"
@@ -21,6 +23,7 @@ import (
 	"vini/internal/ospf"
 	"vini/internal/packet"
 	"vini/internal/sim"
+	"vini/internal/telemetry"
 )
 
 // PeerConfig describes one virtual link to a remote overlay node.
@@ -66,6 +69,15 @@ type Node struct {
 	peers   []PeerConfig
 	remotes map[string]int // remote addr string -> tunnel index
 
+	// Live telemetry: the same registry the simulator uses, under the
+	// "live" slice label. Click element counters publish into it; the
+	// adjacency/route gauges are refreshed on scrape (actor-safe).
+	reg        *telemetry.Registry
+	mRoutes    *telemetry.Gauge
+	mNeighbors *telemetry.Gauge
+	mFull      *telemetry.Gauge
+	mDelivered *telemetry.Counter
+
 	onDeliver func(dgram []byte)
 	started   bool
 }
@@ -100,6 +112,12 @@ func NewNode(cfg Config) (*Node, error) {
 		remotes: make(map[string]int),
 	}
 	n.rib = fea.NewRIB(n.table)
+	n.reg = telemetry.NewRegistry()
+	scope := n.reg.Scope("live", cfg.Name)
+	n.mRoutes = scope.Gauge("fib/routes")
+	n.mNeighbors = scope.Gauge("ospf/neighbors")
+	n.mFull = scope.Gauge("ospf/neighbors_full")
+	n.mDelivered = scope.Counter("tap/delivered")
 	ctx := &click.Context{
 		Clock:     n.actorClock(),
 		RNG:       sim.NewRNG(time.Now().UnixNano()),
@@ -108,6 +126,7 @@ func NewNode(cfg Config) (*Node, error) {
 		Tunnels:   (*liveTunnels)(n),
 		Tap:       (*liveTap)(n),
 		LocalAddr: packet.Flow{Src: cfg.TapAddr},
+		Metrics:   scope,
 	}
 	r, err := click.ParseConfig(ctx, liveConfig)
 	if err != nil {
@@ -328,6 +347,56 @@ func (n *Node) Neighbors() []ospf.NeighborInfo {
 	}
 }
 
+// Metrics returns the node's telemetry registry (Click element counters
+// under the "live" slice, plus the scrape-time gauges).
+func (n *Node) Metrics() *telemetry.Registry { return n.reg }
+
+// refreshGauges recomputes the adjacency and route gauges on the actor
+// loop, so a scrape never races protocol state.
+func (n *Node) refreshGauges() {
+	done := make(chan struct{})
+	n.post(func() {
+		defer close(done)
+		n.mRoutes.Set(int64(len(n.table.Routes())))
+		var full, total int
+		if n.ospf != nil {
+			for _, nb := range n.ospf.Neighbors() {
+				total++
+				if nb.State == "Full" {
+					full++
+				}
+			}
+		}
+		n.mNeighbors.Set(int64(total))
+		n.mFull.Set(int64(full))
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+	}
+}
+
+// MetricsHandler serves the node's telemetry over HTTP: Prometheus text
+// exposition at /metrics, the JSON snapshot at /metrics.json, and a
+// liveness probe at /healthz. cmd/iiasd mounts it behind -metrics.
+func (n *Node) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		n.refreshGauges()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		n.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		n.refreshGauges()
+		w.Header().Set("Content-Type", "application/json")
+		n.reg.WriteJSON(w)
+	})
+	return mux
+}
+
 // FailTunnel injects or clears a failure on tunnel idx (the Click
 // LinkFail element, as in the simulated §5.2 experiment).
 func (n *Node) FailTunnel(idx int, failed bool) {
@@ -380,6 +449,7 @@ type liveTap Node
 
 func (t *liveTap) DeliverTap(p *packet.Packet) {
 	n := (*Node)(t)
+	n.mDelivered.Inc()
 	if n.onDeliver != nil {
 		n.onDeliver(p.Data)
 	}

@@ -80,6 +80,10 @@ type Router struct {
 	ifaces   []*Interface
 	table    map[netip.Prefix]*entry
 	onRoutes func([]fib.Route)
+	// onEvent observes protocol activity (telemetry hook): "advertise"
+	// with the number of routes emitted, "expire" with the number of
+	// routes newly marked unreachable.
+	onEvent func(event string, n int)
 	// lastRoutes is the most recently emitted route set (see Routes).
 	lastRoutes []fib.Route
 	started    bool
@@ -104,6 +108,10 @@ func (r *Router) AddInterface(ifc Interface) error {
 
 // OnRoutes installs the FEA hook.
 func (r *Router) OnRoutes(fn func([]fib.Route)) { r.onRoutes = fn }
+
+// OnEvent installs an observer for protocol activity; it fires in the
+// router's clock domain (telemetry timeline hook).
+func (r *Router) OnEvent(fn func(event string, n int)) { r.onEvent = fn }
 
 // Start seeds local routes and begins periodic updates.
 func (r *Router) Start() {
@@ -141,7 +149,7 @@ func (r *Router) periodic() {
 
 func (r *Router) expire() {
 	now := r.clock.Now()
-	changed := false
+	expired := 0
 	for p, e := range r.table {
 		if e.local {
 			continue
@@ -149,13 +157,16 @@ func (r *Router) expire() {
 		if e.metric < Infinity && now-e.learned > r.cfg.Timeout {
 			e.metric = Infinity
 			e.deadAt = now
-			changed = true
+			expired++
 		}
 		if e.metric >= Infinity && e.deadAt != 0 && now-e.deadAt > r.cfg.GC {
 			delete(r.table, p)
 		}
 	}
-	if changed {
+	if expired > 0 {
+		if r.onEvent != nil {
+			r.onEvent("expire", expired)
+		}
 		r.emit()
 	}
 }
@@ -163,6 +174,9 @@ func (r *Router) expire() {
 // sendUpdates advertises the table on every interface with split horizon
 // and poisoned reverse.
 func (r *Router) sendUpdates(_ bool) {
+	if r.onEvent != nil && len(r.ifaces) > 0 {
+		r.onEvent("advertise", len(r.table))
+	}
 	for _, ifc := range r.ifaces {
 		var ads []advert
 		prefixes := make([]netip.Prefix, 0, len(r.table))

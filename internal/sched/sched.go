@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"vini/internal/sim"
+	"vini/internal/telemetry"
 )
 
 // WorkFunc performs up to budget of CPU work. It returns the CPU time
@@ -101,6 +102,18 @@ type Task struct {
 	// WakeStat records per-wake scheduling latency in milliseconds —
 	// the quantity whose tail causes the paper's Figure 6(a) losses.
 	WakeStat sim.Stats
+	// Telemetry mirrors (nil-safe): cumulative CPU nanoseconds consumed
+	// and the wake-to-dispatch latency distribution.
+	mUsed *telemetry.Counter
+	mWake *telemetry.Histogram
+}
+
+// Instrument attaches telemetry handles to the task: a cumulative
+// CPU-time counter (nanoseconds; unlike Used it survives
+// ResetAccounting, so callers measure windows by deltas) and a wake
+// latency histogram. Driver-time only.
+func (t *Task) Instrument(usedNS *telemetry.Counter, wake *telemetry.Histogram) {
+	t.mUsed, t.mWake = usedNS, wake
 }
 
 // Name returns the task's configured name.
@@ -131,7 +144,13 @@ type CPU struct {
 	// refillKick guards the pending wake-up that re-runs the scheduler
 	// when a strict (non-work-conserving) task's bucket refills.
 	refillKick bool
+	// mBusy is the telemetry mirror of busy (cumulative, nil-safe).
+	mBusy *telemetry.Counter
 }
+
+// Instrument attaches the CPU's cumulative busy-time counter
+// (nanoseconds). Driver-time only.
+func (c *CPU) Instrument(busyNS *telemetry.Counter) { c.mBusy = busyNS }
 
 // New returns a CPU bound to a domain-scoped clock (or a Loop).
 func New(clock sim.Clock, opt Options) *CPU {
@@ -274,7 +293,9 @@ func (c *CPU) dispatch() {
 			t.quantumLeft = c.opt.Quantum
 			if t.waiting {
 				t.waiting = false
-				t.WakeStat.AddDuration(c.clock.Now() - t.wakeAt)
+				lat := c.clock.Now() - t.wakeAt
+				t.WakeStat.AddDuration(lat)
+				t.mWake.Observe(lat)
 			}
 		}
 		budget := c.opt.Grain
@@ -293,6 +314,8 @@ func (c *CPU) dispatch() {
 		t.quantumLeft -= used
 		t.runnable = more && used > 0 // (0, true) treated as asleep
 		c.busy += used
+		t.mUsed.Add(uint64(used))
+		c.mBusy.Add(uint64(used))
 		if used == 0 {
 			// Nothing consumed: the task sleeps; pick another.
 			c.current = nil

@@ -126,6 +126,12 @@ func (d *Domain) Stats() DomainStats {
 // ScheduleDigest returns the domain's fired-event digest.
 func (d *Domain) ScheduleDigest() uint64 { return d.digest }
 
+// Lookahead returns the domain's conservative inbound lookahead — the
+// minimum latency of any cross-domain edge into it (maxTime when
+// nothing sends here). Telemetry surfaces it next to the stall counts:
+// a small lookahead is why a domain's horizon advances slowly.
+func (d *Domain) Lookahead() time.Duration { return d.lookIn }
+
 // ObserveInboundLatency lowers the domain's conservative lookahead to
 // lat if smaller. netem calls this once per inbound cross-domain link;
 // a zero latency forces the executor's sequential fallback, which stays

@@ -85,6 +85,9 @@ func buildScenario(opts Options) (*scenario, error) {
 	if opts.Workers > 0 {
 		vini = core.NewParallel(opts.Seed, opts.Workers)
 	}
+	// Telemetry runs in every scenario so the worker-parity property
+	// also pins the metrics registry and flight recorder byte-for-byte.
+	vini.EnableTelemetry()
 	sc := &scenario{
 		opts:      opts,
 		rng:       rng,

@@ -56,6 +56,20 @@ func TestWorkerParity(t *testing.T) {
 			t.Errorf("seed %d: quiescent FIB fingerprints diverged:\nworkers=1: %016x\nworkers=4: %016x",
 				s, one.FIBDigests, four.FIBDigests)
 		}
+		if one.TelemetryDigest != four.TelemetryDigest {
+			failArtifact(four)
+			t.Errorf("seed %d: telemetry metrics digest diverged: workers=1 %016x, workers=4 %016x — a counter was written from more than one domain, or registration happened mid-run",
+				s, one.TelemetryDigest, four.TelemetryDigest)
+		}
+		if one.FlightDigest != four.FlightDigest {
+			failArtifact(four)
+			t.Errorf("seed %d: flight-recorder digest diverged: workers=1 %016x, workers=4 %016x — an event was recorded into a domain its writer does not own",
+				s, one.FlightDigest, four.FlightDigest)
+		}
+		if one.Telemetry != four.Telemetry {
+			t.Errorf("seed %d: telemetry JSON snapshots are not byte-identical (lens %d vs %d)",
+				s, len(one.Telemetry), len(four.Telemetry))
+		}
 		if testing.Verbose() {
 			t.Logf("seed %d: nodes=%d links=%d rip=%v schedule=%016x fibs=%d",
 				s, one.Nodes, one.Links, one.WithRIP, one.ScheduleDigest, len(one.FIBDigests))

@@ -74,6 +74,14 @@ type Result struct {
 	// FIBDigests records the quiescent FIB fingerprint at warmup and
 	// after each event, for fine-grained divergence reports.
 	FIBDigests []uint64
+	// TelemetryDigest folds the metrics registry (labels and values in
+	// registration order); FlightDigest folds the merged flight-recorder
+	// stream. Both must be identical for any worker count.
+	TelemetryDigest uint64
+	FlightDigest    uint64
+	// Telemetry is the full JSON snapshot, compared byte-for-byte by
+	// the parity property.
+	Telemetry string
 }
 
 // Failed reports whether any invariant was violated.
@@ -175,6 +183,13 @@ func Run(opts Options) (*Result, error) {
 	}
 	res.Digest = digest.Sum64()
 	res.ScheduleDigest = sc.vini.Executor().ScheduleDigest()
+	if tel := sc.vini.Telemetry(); tel != nil {
+		res.TelemetryDigest = tel.Reg.Digest()
+		res.FlightDigest = tel.Rec.Digest()
+		if js, err := tel.SnapshotJSON(); err == nil {
+			res.Telemetry = string(js)
+		}
+	}
 	sc.vini.Close()
 	return res, nil
 }
