@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"vini/internal/core"
+	"vini/internal/netem"
+	"vini/internal/packet"
+	"vini/internal/sched"
+	"vini/internal/topology"
+)
+
+// churnRow is one create/run/pause/reembed/destroy cycle in the
+// BENCH_churn.json report.
+type churnRow struct {
+	Cycle       int     `json:"cycle"`
+	SliceID     int     `json:"slice_id"`
+	BasePort    uint16  `json:"base_port"`
+	Moved       int     `json:"reembed_moved"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Events      uint64  `json:"events"`
+	InFlight    int64   `json:"pool_in_flight_after_teardown"`
+}
+
+type churnReport struct {
+	Topology    string     `json:"topology"`
+	Cycles      int        `json:"cycles"`
+	Rows        []churnRow `json:"rows"`
+	IDsRecycled bool       `json:"ids_recycled"`
+	LedgerClean bool       `json:"ledger_clean"`
+	Note        string     `json:"note,omitempty"`
+}
+
+// churnExp cycles one IIAS slice through its whole lifecycle on a
+// running Abilene substrate — admit, embed, converge, pause across the
+// dead interval, resume, re-embed around a substrate failure, destroy —
+// and verifies after every teardown that the substrate is exactly as
+// clean as before the slice existed: the packet-pool ledger balances
+// and the next cycle is re-admitted onto the recycled slice id, port
+// block, and 10.<id>/16 prefix.
+func churnExp() error {
+	cycles := count(8, 3)
+	v := core.New(*seedFlag)
+	g := topology.Abilene()
+	for _, pop := range g.Nodes() {
+		addr, _ := topology.AbilenePublicAddr(pop)
+		if _, err := v.AddNode(pop, netip.MustParseAddr(addr),
+			netem.PlanetLabProfile(), sched.Options{}); err != nil {
+			return err
+		}
+	}
+	for _, l := range g.Links() {
+		if _, err := v.AddLink(netem.LinkConfig{A: l.A, B: l.B,
+			Bandwidth: l.Bandwidth, Delay: l.Delay}); err != nil {
+			return err
+		}
+	}
+	v.ComputeRoutes()
+	baseline := packet.Stats()
+	loop := v.Loop()
+	rep := churnReport{Topology: "abilene", Cycles: cycles,
+		IDsRecycled: true, LedgerClean: true}
+	fmt.Printf("slice churn on Abilene (11 PoPs), %d cycles\n", cycles)
+	fmt.Printf("%-6s %8s %10s %8s %10s %12s %10s\n",
+		"cycle", "id", "baseport", "moved", "wall", "events", "inflight")
+	firstID := 0
+	links := g.Links()
+	var prevFired uint64
+	for c := 0; c < cycles; c++ {
+		start := time.Now()
+		s, err := v.CreateSlice(core.SliceConfig{
+			Name: fmt.Sprintf("churn%d", c), CPUShare: 0.25, RT: true,
+			ExposePhysicalFailures: true})
+		if err != nil {
+			return err
+		}
+		if c == 0 {
+			firstID = s.ID()
+		} else if s.ID() != firstID {
+			rep.IDsRecycled = false
+		}
+		for _, pop := range g.Nodes() {
+			if _, err := s.AddVirtualNode(pop); err != nil {
+				return err
+			}
+		}
+		for _, l := range g.Links() {
+			if _, err := s.ConnectVirtual(l.A, l.B, l.CostAB); err != nil {
+				return err
+			}
+		}
+		s.StartOSPF(5*time.Second, 10*time.Second)
+		v.Run(loop.Now() + dur(30*time.Second, 15*time.Second))
+		if err := s.Pause(); err != nil {
+			return err
+		}
+		v.Run(loop.Now() + 15*time.Second)
+		if err := s.Resume(); err != nil {
+			return err
+		}
+		v.Run(loop.Now() + dur(30*time.Second, 20*time.Second))
+		// Fail a rotating substrate link and walk the slice around it.
+		l := links[c%len(links)]
+		if err := v.FailLink(l.A, l.B, 100*time.Millisecond); err != nil {
+			return err
+		}
+		v.Run(loop.Now() + 2*time.Second)
+		moved, err := s.ReEmbed()
+		if err != nil {
+			return err
+		}
+		v.Run(loop.Now() + 5*time.Second)
+		if err := v.RestoreLink(l.A, l.B, 100*time.Millisecond); err != nil {
+			return err
+		}
+		v.Run(loop.Now() + 2*time.Second)
+		if _, err := s.ReEmbed(); err != nil {
+			return err
+		}
+		if err := s.Destroy(); err != nil {
+			return err
+		}
+		if err := s.Audit(); err != nil {
+			return fmt.Errorf("cycle %d: %v", c, err)
+		}
+		v.Run(loop.Now() + 3*time.Second)
+		for i := 0; i < 40 && packet.Stats().Sub(baseline).InFlight() != 0; i++ {
+			v.Run(loop.Now() + 50*time.Millisecond)
+		}
+		fired := v.Executor().TotalFired()
+		row := churnRow{Cycle: c, SliceID: s.ID(), BasePort: s.BasePort(),
+			Moved: moved, WallSeconds: time.Since(start).Seconds(),
+			Events:   fired - prevFired,
+			InFlight: packet.Stats().Sub(baseline).InFlight()}
+		prevFired = fired
+		if row.InFlight != 0 {
+			rep.LedgerClean = false
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-6d %8d %10d %8d %9.2fs %12d %10d\n",
+			row.Cycle, row.SliceID, row.BasePort, row.Moved,
+			row.WallSeconds, row.Events, row.InFlight)
+	}
+	if rep.IDsRecycled {
+		fmt.Printf("slice id %d, port block %d, prefix 10.%d/16 recycled across all %d cycles\n",
+			firstID, 33000+256*firstID, firstID, cycles)
+	} else {
+		rep.Note = "id recycling failed: destroyed slice ids were not reissued"
+		fmt.Println("WARNING: " + rep.Note)
+	}
+	if !rep.LedgerClean {
+		fmt.Println("WARNING: pool ledger did not balance after teardown")
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_churn.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_churn.json")
+	if !rep.IDsRecycled || !rep.LedgerClean {
+		return fmt.Errorf("churn: lifecycle invariants violated")
+	}
+	return nil
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest|parallel|telemetry] [-seed N] [-short] [-parallel N] [-v]
+//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest|parallel|telemetry|churn] [-seed N] [-short] [-parallel N] [-v]
 package main
 
 import (
@@ -60,6 +60,7 @@ func main() {
 	run("simtest", simtestExp)
 	run("parallel", parallelExp)
 	run("telemetry", telemetryExp)
+	run("churn", churnExp)
 }
 
 // telemetryExp reruns the Figure 8 failure scenario with the telemetry

@@ -287,6 +287,26 @@ func (r *Router) Audit() error {
 	return nil
 }
 
+// Flusher is implemented by elements that buffer packets (queues,
+// shapers). Flush releases everything buffered back to the pool and
+// returns the number of packets dropped; slice teardown flushes every
+// element so the pool ledger balances.
+type Flusher interface {
+	Flush() int
+}
+
+// Flush releases all buffered packets in every Flusher element, in
+// declaration order, returning the total released.
+func (r *Router) Flush() int {
+	n := 0
+	for _, name := range r.order {
+		if f, ok := r.elements[name].(Flusher); ok {
+			n += f.Flush()
+		}
+	}
+	return n
+}
+
 // Element returns the named element.
 func (r *Router) Element(name string) (Element, bool) {
 	e, ok := r.elements[name]

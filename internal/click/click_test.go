@@ -581,3 +581,38 @@ func TestClassesListsRegistrations(t *testing.T) {
 		t.Fatalf("registry missing classes: %v", cs)
 	}
 }
+
+func TestRouterFlushReleasesBufferedPackets(t *testing.T) {
+	ctx, _, _ := testCtx()
+	base := packet.Stats()
+	r := mustParse(t, ctx, `
+		q :: Queue(10);
+		sh :: BandwidthShaper(1000, 10);
+		out :: TestSink;
+		sh -> out;
+	`)
+	// Fill the queue (no puller attached) and the shaper's backlog: the
+	// 1 kbit/s rate keeps all but the first packet buffered.
+	for i := 0; i < 4; i++ {
+		pq := packet.Get()
+		pq.SetData([]byte{1, 2, 3, 4})
+		r.Push("q", 0, pq)
+		ps := packet.Get()
+		ps.SetData([]byte{1, 2, 3, 4})
+		r.Push("sh", 0, ps)
+	}
+	if n := r.Flush(); n != 4+3 {
+		t.Fatalf("Flush released %d, want 7", n)
+	}
+	if n := r.Flush(); n != 0 {
+		t.Fatalf("second Flush released %d, want 0", n)
+	}
+	// Only the packets handed to the sink remain outstanding.
+	out, _ := r.Element("out")
+	for _, p := range out.(*sink).got {
+		p.Release()
+	}
+	if f := packet.Stats().Sub(base).InFlight(); f != 0 {
+		t.Fatalf("pool ledger unbalanced after Flush: %d in flight", f)
+	}
+}

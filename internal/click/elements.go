@@ -804,6 +804,16 @@ func (e *queue) Pull() *packet.Packet {
 // Len reports the queue occupancy.
 func (e *queue) Len() int { return len(e.buf) }
 
+// Flush implements Flusher: buffered packets return to the pool.
+func (e *queue) Flush() int {
+	n := len(e.buf)
+	for _, p := range e.buf {
+		p.Release()
+	}
+	e.buf = nil
+	return n
+}
+
 func (e *queue) Handler(name, value string) (string, error) {
 	switch {
 	case name == "length" && value == "":
@@ -892,6 +902,20 @@ func (e *bandwidthShaper) release() {
 	}
 	e.out.Output(0, p)
 	e.ctx.Clock.Schedule(txTime, e.release)
+}
+
+// Flush implements Flusher. The release chain's pending timer finds an
+// empty buffer and clears busy on its own; clearing busy here too lets
+// teardown (which also cancels that timer via the slice's timer group)
+// leave the element reusable.
+func (e *bandwidthShaper) Flush() int {
+	n := len(e.buf)
+	for _, p := range e.buf {
+		p.Release()
+	}
+	e.buf = nil
+	e.busy = false
+	return n
 }
 
 func (e *bandwidthShaper) Handler(name, value string) (string, error) {

@@ -26,6 +26,12 @@ type VINI struct {
 	slices map[string]*Slice
 	order  []string
 	nextID int
+	// freeIDs recycles slice ids (and the port blocks and 10.<id>/16
+	// prefixes derived from them) released by Destroy, LIFO.
+	freeIDs []int
+	// reserved tracks admitted CPU reservations per physical node, the
+	// admission-control budget.
+	reserved map[string]float64
 	// tel is the telemetry bundle (nil until EnableTelemetry).
 	tel *telemetry.Telemetry
 }
@@ -52,13 +58,13 @@ func build(loop *sim.Loop, shard bool) *VINI {
 		net = netem.NewSharded(loop)
 	}
 	v := &VINI{
-		Net:    net,
-		loop:   loop,
-		graph:  topology.New(),
-		slices: make(map[string]*Slice),
-		nextID: 1,
+		Net:      net,
+		loop:     loop,
+		graph:    topology.New(),
+		slices:   make(map[string]*Slice),
+		nextID:   1,
+		reserved: make(map[string]float64),
 	}
-	v.Net.OnLinkEvent(v.linkUpcall)
 	return v
 }
 
@@ -128,24 +134,47 @@ type SliceConfig struct {
 }
 
 // CreateSlice admits a new experiment. Each slice receives a private
-// 10.<id>.0.0/16 of the 10/8 space and a dedicated UDP port range (the
-// VNET-style isolation).
+// 10.<id>.0.0/16 of the 10/8 space and a dedicated 256-port UDP block
+// at 33000+256*id (the VNET-style isolation); both derive from the
+// slice id, which is bounded (the port block must fit under 65536) and
+// recycled when a slice is destroyed. Admission validates the CPU
+// request here; per-node oversubscription is rejected at embedding
+// time, when the slice lands on concrete nodes.
 func (v *VINI) CreateSlice(cfg SliceConfig) (*Slice, error) {
 	if _, dup := v.slices[cfg.Name]; dup {
 		return nil, fmt.Errorf("core: slice %q exists", cfg.Name)
 	}
+	if cfg.CPUShare < 0 || cfg.CPUShare > 1 {
+		return nil, fmt.Errorf("core: slice %q CPUShare %.3f outside (0, 1]", cfg.Name, cfg.CPUShare)
+	}
 	if cfg.CPUShare == 0 {
 		cfg.CPUShare = 1.0 / 40 // a PlanetLab node's default fair share
 	}
-	id := v.nextID
-	v.nextID++
+	id, err := v.allocSliceID()
+	if err != nil {
+		return nil, err
+	}
 	s := &Slice{
 		vini:     v,
 		cfg:      cfg,
 		id:       id,
 		basePort: uint16(33000 + 256*id),
 		vnodes:   make(map[string]*VirtualNode),
+		ctl:      sim.NewTimerGroup(v.loop),
 	}
+	s.res.acquire("slice-id", fmt.Sprintf("%d", id), func() { v.freeSliceID(id) })
+	// Physical topology upcalls are a held resource too: teardown
+	// unsubscribes, so a destroyed slice can never be called back.
+	sub := v.Net.OnLinkEvent(s.physicalEvent)
+	s.res.acquire("link-sub", cfg.Name, func() { v.Net.Unsubscribe(sub) })
+	// Telemetry series registered under the slice label retire with it
+	// (the registry is consulted at free time: telemetry may be enabled
+	// after the slice is created).
+	s.res.acquire("telemetry", cfg.Name, func() {
+		if v.tel != nil {
+			v.tel.Reg.Retire(cfg.Name)
+		}
+	})
 	v.slices[cfg.Name] = s
 	v.order = append(v.order, cfg.Name)
 	return s, nil
@@ -175,42 +204,4 @@ type LinkAlarm struct {
 	// A, B name the virtual nodes whose virtual link rides the failed
 	// physical link.
 	A, B string
-}
-
-// linkUpcall maps a physical link event onto affected virtual links.
-func (v *VINI) linkUpcall(ev netem.LinkEvent) {
-	// Identify the physical links now down to find affected paths.
-	down := map[int]bool{}
-	for i, l := range v.graphLinks() {
-		phys, ok := v.Net.FindLink(l.A, l.B)
-		if ok && phys.Down() {
-			down[i] = true
-		}
-	}
-	for _, name := range v.order {
-		s := v.slices[name]
-		s.physicalEvent(ev, down)
-	}
-}
-
-func (v *VINI) graphLinks() []topology.Link { return v.graph.Links() }
-
-// pathUses reports whether the current shortest physical path between
-// two nodes traverses the given physical link, pretending the link is up
-// (virtual links are pinned to the path chosen at embedding time; the
-// paper's point is precisely that the substrate would re-route around
-// the failure and mask it).
-func (v *VINI) pathUses(from, to, linkA, linkB string) bool {
-	paths := v.graph.ShortestPaths(from, nil)
-	p, ok := paths[to]
-	if !ok {
-		return false
-	}
-	for i := 0; i+1 < len(p.Hops); i++ {
-		a, b := p.Hops[i], p.Hops[i+1]
-		if (a == linkA && b == linkB) || (a == linkB && b == linkA) {
-			return true
-		}
-	}
-	return false
 }

@@ -21,6 +21,10 @@ import (
 // destinations here. Call before StartOSPF/StartRIP.
 func (vn *VirtualNode) EnableEgress() error {
 	s := vn.slice
+	if s.id > maxEgressID {
+		// 40000 + 512*id + 511 must fit in uint16; id 49 would wrap.
+		return fmt.Errorf("core: slice id %d beyond NAT port space (max %d)", s.id, maxEgressID)
+	}
 	lo := uint16(40000 + 512*s.id)
 	hi := lo + 511
 	cfg := fmt.Sprintf(`

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"vini/internal/netem"
+	"vini/internal/packet"
+	"vini/internal/sched"
+)
+
+// buildLine stands up a minimal west -- mid -- east substrate.
+func buildLine(t *testing.T, seed int64) *VINI {
+	t.Helper()
+	v := New(seed)
+	for i, n := range []string{"west", "mid", "east"} {
+		a := netip.AddrFrom4([4]byte{198, 51, 100, byte(i + 1)})
+		if _, err := v.AddNode(n, a, netem.DETERProfile(), sched.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{{"west", "mid"}, {"mid", "east"}} {
+		if _, err := v.AddLink(netem.LinkConfig{A: l[0], B: l[1],
+			Bandwidth: 1e9, Delay: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.ComputeRoutes()
+	return v
+}
+
+func TestCreateSliceValidatesCPUShare(t *testing.T) {
+	v := buildLine(t, 1)
+	if _, err := v.CreateSlice(SliceConfig{Name: "big", CPUShare: 1.5}); err == nil {
+		t.Fatal("CPUShare > 1 admitted")
+	}
+	if _, err := v.CreateSlice(SliceConfig{Name: "neg", CPUShare: -0.1}); err == nil {
+		t.Fatal("negative CPUShare admitted")
+	}
+	s, err := v.CreateSlice(SliceConfig{Name: "def"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.CPUShare != 1.0/40 {
+		t.Fatalf("default share = %v, want 1/40", s.cfg.CPUShare)
+	}
+}
+
+func TestAdmissionRejectsCPUOversubscription(t *testing.T) {
+	v := buildLine(t, 1)
+	a, err := v.CreateSlice(SliceConfig{Name: "a", CPUShare: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AddVirtualNode("west"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.CreateSlice(SliceConfig{Name: "b", CPUShare: 0.75})
+	if err != nil {
+		t.Fatal(err) // admission is per node, not per substrate
+	}
+	if _, err := b.AddVirtualNode("west"); err == nil {
+		t.Fatal("0.75 + 0.75 on one node admitted")
+	}
+	// A different node has a full budget.
+	if _, err := b.AddVirtualNode("east"); err != nil {
+		t.Fatalf("admission rejected a free node: %v", err)
+	}
+	if got := v.ReservedCPU("west"); got != 0.75 {
+		t.Fatalf("ReservedCPU(west) = %v after rejection, want 0.75", got)
+	}
+	// Destroying the first slice returns its reservation.
+	if err := a.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.ReservedCPU("west"); got != 0 {
+		t.Fatalf("ReservedCPU(west) = %v after destroy, want 0", got)
+	}
+	if _, err := b.AddVirtualNode("west"); err != nil {
+		t.Fatalf("re-admission after destroy failed: %v", err)
+	}
+}
+
+func TestSliceIDBoundAndRecycling(t *testing.T) {
+	v := buildLine(t, 1)
+	var slices []*Slice
+	for i := 0; i < maxSliceID; i++ {
+		s, err := v.CreateSlice(SliceConfig{Name: string(rune('A'+i/26)) + string(rune('a'+i%26))})
+		if err != nil {
+			t.Fatalf("slice %d: %v", i, err)
+		}
+		slices = append(slices, s)
+	}
+	last := slices[len(slices)-1]
+	if last.id != maxSliceID {
+		t.Fatalf("last id = %d, want %d", last.id, maxSliceID)
+	}
+	// The port block of the highest id must fit in uint16.
+	if hi := int(last.basePort) + 255; hi > 65535 || int(last.basePort) != 33000+256*maxSliceID {
+		t.Fatalf("port block [%d, %d] out of range", last.basePort, hi)
+	}
+	if _, err := v.CreateSlice(SliceConfig{Name: "overflow"}); err == nil {
+		t.Fatal("id past the port space admitted (uint16 wrap)")
+	}
+	// Destroy recycles the id, port block, and prefix.
+	victim := slices[41]
+	id, port, prefix := victim.id, victim.basePort, victim.Prefix()
+	if err := victim.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := v.CreateSlice(SliceConfig{Name: "recycled"})
+	if err != nil {
+		t.Fatalf("create after destroy: %v", err)
+	}
+	if s.id != id || s.basePort != port || s.Prefix() != prefix {
+		t.Fatalf("recycled slice got id=%d port=%d prefix=%v, want %d/%d/%v",
+			s.id, s.basePort, s.Prefix(), id, port, prefix)
+	}
+}
+
+func TestEgressPortSpaceBound(t *testing.T) {
+	v := buildLine(t, 1)
+	for i := 1; i < maxEgressID; i++ { // burn ids 1..47
+		if _, err := v.CreateSlice(SliceConfig{Name: string(rune('a'+i/26)) + string(rune('A'+i%26))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := v.CreateSlice(SliceConfig{Name: "edge"}) // id 48
+	if err != nil {
+		t.Fatal(err)
+	}
+	vn, err := ok.AddVirtualNode("west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vn.EnableEgress(); err != nil {
+		t.Fatalf("egress at id %d (last valid): %v", ok.id, err)
+	}
+	over, err := v.CreateSlice(SliceConfig{Name: "beyond"}) // id 49
+	if err != nil {
+		t.Fatal(err)
+	}
+	vn2, err := over.AddVirtualNode("east")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vn2.EnableEgress(); err == nil {
+		t.Fatalf("egress at id %d accepted (NAT range wraps uint16)", over.id)
+	}
+}
+
+// lineSlice embeds the slice on all three nodes in a line.
+func lineSlice(t *testing.T, v *VINI, cfg SliceConfig) *Slice {
+	t.Helper()
+	s, err := v.CreateSlice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"west", "mid", "east"} {
+		if _, err := s.AddVirtualNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{{"west", "mid"}, {"mid", "east"}} {
+		if _, err := s.ConnectVirtual(l[0], l[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// hasRoute reports whether the virtual node's FIB reaches dst.
+func hasRoute(vn *VirtualNode, dst netip.Addr) bool {
+	_, ok := vn.FIB.Lookup(dst)
+	return ok
+}
+
+func TestSliceStateMachine(t *testing.T) {
+	v := buildLine(t, 1)
+	s, err := v.CreateSlice(SliceConfig{Name: "sm", CPUShare: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != StateAdmitted {
+		t.Fatalf("state = %v, want Admitted", s.State())
+	}
+	if _, err := s.AddVirtualNode("west"); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != StateEmbedded {
+		t.Fatalf("state = %v, want Embedded", s.State())
+	}
+	s.StartOSPF(time.Second, 3*time.Second)
+	if s.State() != StateRunning {
+		t.Fatalf("state = %v, want Running", s.State())
+	}
+	if err := s.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != StatePaused {
+		t.Fatalf("state = %v, want Paused", s.State())
+	}
+	if err := s.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != StateRunning {
+		t.Fatalf("state = %v, want Running after resume", s.State())
+	}
+	if err := s.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != StateDestroyed {
+		t.Fatalf("state = %v, want Destroyed", s.State())
+	}
+	if err := s.Resume(); err == nil {
+		t.Fatal("resume of a destroyed slice accepted")
+	}
+	if err := s.Pause(); err == nil {
+		t.Fatal("pause of a destroyed slice accepted")
+	}
+	if _, err := s.AddVirtualNode("mid"); err == nil {
+		t.Fatal("embed on a destroyed slice accepted")
+	}
+	if _, err := s.ReEmbed(); err == nil {
+		t.Fatal("re-embed of a destroyed slice accepted")
+	}
+	if err := s.Destroy(); err != nil {
+		t.Fatalf("destroy not idempotent: %v", err)
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatalf("audit after destroy: %v", err)
+	}
+}
+
+func TestPauseStopsSliceAndResumeReconverges(t *testing.T) {
+	v := buildLine(t, 1)
+	s := lineSlice(t, v, SliceConfig{Name: "pr", CPUShare: 0.3, RT: true})
+	s.StartOSPF(time.Second, 3*time.Second)
+	v.Run(20 * time.Second)
+	west, _ := s.VirtualNode("west")
+	east, _ := s.VirtualNode("east")
+	if !hasRoute(west, east.TapAddr) {
+		t.Fatal("no route before pause")
+	}
+	midUsed := func() time.Duration {
+		vn, _ := s.VirtualNode("mid")
+		return vn.proc.Task().Used()
+	}
+	if err := s.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	before := midUsed()
+	// Past the dead interval: the paused slice's neighbors expire and
+	// its forwarder burns no CPU.
+	v.Run(40 * time.Second)
+	if used := midUsed() - before; used != 0 {
+		t.Fatalf("paused forwarder consumed %v CPU", used)
+	}
+	if len(west.OSPF.Neighbors()) != 0 {
+		t.Fatalf("paused node keeps %d OSPF adjacencies", len(west.OSPF.Neighbors()))
+	}
+	if err := s.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	v.Run(80 * time.Second)
+	if !hasRoute(west, east.TapAddr) {
+		t.Fatal("no route after resume (reconvergence failed)")
+	}
+	if len(west.OSPF.Neighbors()) == 0 {
+		t.Fatal("adjacency did not re-form after resume")
+	}
+}
+
+func TestDestroyReleasesEverything(t *testing.T) {
+	v := buildLine(t, 1)
+	tel := v.EnableTelemetry()
+	base := packet.Stats()
+	s := lineSlice(t, v, SliceConfig{Name: "doomed", CPUShare: 0.3, RT: true})
+	s.StartOSPF(time.Second, 3*time.Second)
+	v.Run(15 * time.Second)
+	if tel.Reg.Series("doomed") == 0 {
+		t.Fatal("no telemetry series before destroy (test is vacuous)")
+	}
+	west, _ := s.VirtualNode("west")
+	tap := west.TapAddr
+	port := s.basePort
+	phys := west.phys
+	if err := s.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	// Run past any in-flight deliveries, then the world must be clean.
+	v.Run(25 * time.Second)
+	if f := packet.Stats().Sub(base).InFlight(); f != 0 {
+		t.Fatalf("pool ledger unbalanced after destroy: %d in flight", f)
+	}
+	if n := v.loop.Pending(); n != 0 {
+		t.Fatalf("%d events still pending after destroy (orphaned timers)", n)
+	}
+	if tel.Reg.Series("doomed") != 0 {
+		t.Fatalf("%d telemetry series survive destroy", tel.Reg.Series("doomed"))
+	}
+	if phys.HasAddr(tap) {
+		t.Fatal("tap address still on the physical node")
+	}
+	if _, ok := v.Slice("doomed"); ok {
+		t.Fatal("destroyed slice still registered")
+	}
+	// The whole identity recycles: same id, ports, prefix, and the
+	// substrate accepts the rebind while still running.
+	s2 := lineSlice(t, v, SliceConfig{Name: "next", CPUShare: 0.3, RT: true})
+	if s2.basePort != port {
+		t.Fatalf("port block not recycled: %d, want %d", s2.basePort, port)
+	}
+	s2.StartOSPF(time.Second, 3*time.Second)
+	v.Run(v.loop.Now() + 20*time.Second)
+	w2, _ := s2.VirtualNode("west")
+	e2, _ := s2.VirtualNode("east")
+	if !hasRoute(w2, e2.TapAddr) {
+		t.Fatal("recycled slice failed to converge")
+	}
+}
+
+func TestReEmbedMovesVirtualLinkOffDeadPath(t *testing.T) {
+	v := New(1)
+	for i, n := range []string{"a", "b", "c"} {
+		addr := netip.AddrFrom4([4]byte{198, 51, 100, byte(i + 1)})
+		if _, err := v.AddNode(n, addr, netem.DETERProfile(), sched.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Triangle: a-b direct (cheap), plus a-c and c-b (detour).
+	for _, l := range [][2]string{{"a", "b"}, {"a", "c"}, {"c", "b"}} {
+		if _, err := v.AddLink(netem.LinkConfig{A: l[0], B: l[1],
+			Bandwidth: 1e9, Delay: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.ComputeRoutes()
+	s, err := v.CreateSlice(SliceConfig{Name: "re", CPUShare: 0.3, ExposePhysicalFailures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"a", "b"} {
+		if _, err := s.AddVirtualNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vl, err := s.ConnectVirtual("a", "b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vl.Path(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("embed path = %v, want [a b]", got)
+	}
+	if err := v.FailLink("a", "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if !vl.Failed() {
+		t.Fatal("exposed physical failure did not fail the virtual link")
+	}
+	changed, err := s.ReEmbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 1 {
+		t.Fatalf("ReEmbed changed %d links, want 1", changed)
+	}
+	if got := vl.Path(); len(got) != 3 || got[1] != "c" {
+		t.Fatalf("re-embedded path = %v, want the detour via c", got)
+	}
+	if vl.Failed() {
+		t.Fatal("virtual link still failed after re-embedding onto a live path")
+	}
+	// The dead direct link no longer matters; restoring it does not
+	// flap the virtual link (its path runs via c now).
+	if err := v.RestoreLink("a", "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if vl.Failed() {
+		t.Fatal("restore flapped a link that no longer rides the path")
+	}
+	// A second ReEmbed moves it back to the (again shortest) direct path.
+	if changed, _ := s.ReEmbed(); changed != 1 {
+		t.Fatalf("ReEmbed back changed %d, want 1", changed)
+	}
+	// Injected failures survive re-embedding (they are experiment state).
+	vl.SetFailed(true)
+	if _, err := s.ReEmbed(); err != nil {
+		t.Fatal(err)
+	}
+	if !vl.Failed() {
+		t.Fatal("ReEmbed cleared an injected failure")
+	}
+}

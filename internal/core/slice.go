@@ -9,6 +9,7 @@ import (
 	"vini/internal/netem"
 	"vini/internal/ospf"
 	"vini/internal/rip"
+	"vini/internal/sim"
 	"vini/internal/telemetry"
 )
 
@@ -25,6 +26,15 @@ type Slice struct {
 	vlinks   []*VirtualLink
 	nextHost int // tap address allocator
 	nextNet  int // /30 subnet allocator
+	// state is the lifecycle position; prevState remembers what Pause
+	// interrupted so Resume can restore it.
+	state     SliceState
+	prevState SliceState
+	// res is the resource ledger teardown drains in reverse order.
+	res ledger
+	// ctl tracks control-domain timers the slice owns (staggered
+	// StartOSPF closures); Destroy cancels them as a group.
+	ctl *sim.TimerGroup
 	// SPFDelay overrides the OSPF SPF batching delay (default 100ms;
 	// production routers use ~1s, which widens the transient-forwarding
 	// windows Figure 8's 110ms/87ms samples fall into). Set before
@@ -42,8 +52,17 @@ type VirtualLink struct {
 	// name labels the link in telemetry events ("a-b", endpoint
 	// physical names), prebuilt so SetFailed does not allocate.
 	name string
-	// failed mirrors the Click LinkFail state on both directions.
-	failed bool
+	// path pins the physical shortest path the tunnel was embedded
+	// onto (the substrate masks failures along it until ReEmbed moves
+	// the link to a live path).
+	path []string
+	// injected is the experiment-requested failure (SetFailed).
+	injected bool
+	// physFailed mirrors substrate failures along the pinned path for
+	// ExposePhysicalFailures slices.
+	physFailed bool
+	// applied is the effective fail state last pushed into Click.
+	applied bool
 }
 
 // Name returns the slice name.
@@ -70,6 +89,9 @@ func (s *Slice) VirtualNode(name string) (*VirtualNode, bool) {
 // Click forwarder process with the IIAS element graph, a tap0 address
 // out of the slice's block, and (lazily) routing processes.
 func (s *Slice) AddVirtualNode(physName string) (*VirtualNode, error) {
+	if s.state >= StateDraining {
+		return nil, fmt.Errorf("core: cannot embed slice %s in state %s", s.cfg.Name, s.state)
+	}
 	if _, dup := s.vnodes[physName]; dup {
 		return nil, fmt.Errorf("core: slice %s already on node %s", s.cfg.Name, physName)
 	}
@@ -77,17 +99,28 @@ func (s *Slice) AddVirtualNode(physName string) (*VirtualNode, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown physical node %q", physName)
 	}
+	// Admission control: the node must have room for this slice's CPU
+	// reservation before anything is instantiated on it.
+	if err := s.vini.reserveCPU(physName, s.cfg.CPUShare); err != nil {
+		return nil, err
+	}
+	cpu := s.res.acquire("cpu", physName, func() { s.vini.releaseCPU(physName, s.cfg.CPUShare) })
 	s.nextHost++
 	if s.nextHost > 250 {
+		cpu.release()
 		return nil, fmt.Errorf("core: slice %s out of tap addresses", s.cfg.Name)
 	}
 	tap := netip.AddrFrom4([4]byte{10, byte(s.id), 0, byte(s.nextHost)})
 	vn, err := newVirtualNode(s, phys, tap)
 	if err != nil {
+		cpu.release()
 		return nil, err
 	}
 	s.vnodes[physName] = vn
 	s.vorder = append(s.vorder, physName)
+	if s.state == StateAdmitted {
+		s.state = StateEmbedded
+	}
 	return vn, nil
 }
 
@@ -113,6 +146,9 @@ func (s *Slice) allocSubnet() (netip.Prefix, netip.Addr, netip.Addr, error) {
 // (with the Click LinkFail → ToTunnel chain), and encapsulation-table
 // entries pointing at the peer's physical node.
 func (s *Slice) ConnectVirtual(a, b string, cost uint32) (*VirtualLink, error) {
+	if s.state >= StateDraining {
+		return nil, fmt.Errorf("core: cannot embed slice %s in state %s", s.cfg.Name, s.state)
+	}
 	va, ok := s.vnodes[a]
 	if !ok {
 		return nil, fmt.Errorf("core: no virtual node on %q", a)
@@ -136,7 +172,10 @@ func (s *Slice) ConnectVirtual(a, b string, cost uint32) (*VirtualLink, error) {
 	if err != nil {
 		return nil, err
 	}
-	vl := &VirtualLink{A: va, B: vb, AIf: ifA, BIf: ifB, Cost: cost, name: a + "-" + b}
+	vl := &VirtualLink{A: va, B: vb, AIf: ifA, BIf: ifB, Cost: cost, name: a + "-" + b,
+		// Pin the embedding to the current shortest physical path —
+		// upcall matching and ReEmbed work against this pin.
+		path: s.vini.physPath(a, b)}
 	s.vlinks = append(s.vlinks, vl)
 	return vl, nil
 }
@@ -157,16 +196,28 @@ func (s *Slice) FindVirtualLink(a, b string) (*VirtualLink, bool) {
 // paper's §5.2 mechanism ("we fail the link by dropping packets within
 // Click on the virtual link connecting two Abilene nodes").
 func (vl *VirtualLink) SetFailed(v bool) {
-	vl.failed = v
-	vl.A.setTunnelFailed(vl.AIf, v)
-	vl.B.setTunnelFailed(vl.BIf, v)
+	vl.injected = v
+	vl.applyFailState()
+}
+
+// applyFailState pushes the effective failure state (injected OR
+// mirrored-physical) into the Click LinkFail elements, recording the
+// transition; repeated application of an unchanged state is free.
+func (vl *VirtualLink) applyFailState() {
+	eff := vl.injected || vl.physFailed
+	if eff == vl.applied {
+		return
+	}
+	vl.applied = eff
+	vl.A.setTunnelFailed(vl.AIf, eff)
+	vl.B.setTunnelFailed(vl.BIf, eff)
 	s := vl.A.slice
 	if tel := s.vini.tel; tel != nil {
 		detail := "up"
-		if v {
+		if eff {
 			detail = "down"
 		}
-		// SetFailed runs on the control timeline (driver calls,
+		// Fail-state flips run on the control timeline (driver calls,
 		// scheduled failures, physical upcalls), so the control ring is
 		// the writer.
 		tel.Rec.Record(s.vini.loop.Domain, telemetry.Event{
@@ -178,8 +229,13 @@ func (vl *VirtualLink) SetFailed(v bool) {
 	}
 }
 
-// Failed reports the injected-failure state.
-func (vl *VirtualLink) Failed() bool { return vl.failed }
+// Failed reports the effective failure state (injected or exposed
+// physical).
+func (vl *VirtualLink) Failed() bool { return vl.injected || vl.physFailed }
+
+// Path returns the pinned physical path (embedding-time shortest path,
+// or the latest ReEmbed result).
+func (vl *VirtualLink) Path() []string { return append([]string(nil), vl.path...) }
 
 // SetBandwidth caps the virtual link at bps in both directions using
 // the Click traffic shapers on its per-tunnel chains (Section 6.2's
@@ -203,7 +259,12 @@ func (s *Slice) StartOSPF(hello, dead time.Duration) {
 	for _, name := range s.vorder {
 		vn := s.vnodes[name]
 		offset := time.Duration(rng.Float64() * float64(hello))
-		s.vini.loop.Schedule(offset, func() { vn.startOSPF(hello, dead) })
+		// Staggered starts are slice-owned control timers: Destroy
+		// cancels the ones that have not fired yet through the group.
+		s.ctl.Schedule(offset, func() { vn.startOSPF(hello, dead) })
+	}
+	if s.state == StateEmbedded {
+		s.state = StateRunning
 	}
 }
 
@@ -212,6 +273,9 @@ func (s *Slice) StartOSPF(hello, dead time.Duration) {
 func (s *Slice) StartRIP(update time.Duration) {
 	for _, name := range s.vorder {
 		s.vnodes[name].startRIP(update)
+	}
+	if s.state == StateEmbedded {
+		s.state = StateRunning
 	}
 }
 
@@ -233,18 +297,25 @@ func (s *Slice) SwitchProtocol(proto string) error {
 
 // physicalEvent delivers upcalls for a substrate link event and, when
 // the slice opted in, exposes the failure to the virtual topology.
-func (s *Slice) physicalEvent(ev netem.LinkEvent, _ map[int]bool) {
+// Virtual links are matched against their pinned embedding path — the
+// substrate IGP re-routes around the failure and would mask it, which
+// is exactly what Section 3.1's upcalls exist to counteract.
+func (s *Slice) physicalEvent(ev netem.LinkEvent) {
+	if s.state == StateDraining || s.state == StateDestroyed {
+		return
+	}
 	for _, vl := range s.vlinks {
-		from := vl.A.phys.Name()
-		to := vl.B.phys.Name()
-		if !s.vini.pathUses(from, to, ev.A, ev.B) {
+		if !usesPhysLink(vl.path, ev.A, ev.B) {
 			continue
 		}
 		if s.onAlarm != nil {
-			s.onAlarm(LinkAlarm{Event: ev, A: from, B: to})
+			s.onAlarm(LinkAlarm{Event: ev, A: vl.A.phys.Name(), B: vl.B.phys.Name()})
 		}
 		if s.cfg.ExposePhysicalFailures {
-			vl.SetFailed(ev.Down)
+			// The virtual link is down while any link of its pinned
+			// path is down (a restore elsewhere does not heal it).
+			vl.physFailed = s.anyPathDown(vl.path)
+			vl.applyFailState()
 		}
 	}
 }

@@ -43,11 +43,18 @@ type VIface struct {
 type VirtualNode struct {
 	slice *Slice
 	phys  *netem.Node
-	// clock is the hosting node's domain-scoped clock; everything the
-	// virtual node schedules at runtime (Click timers, OSPF/RIP
-	// periodics, control timestamps) runs in that domain.
+	// clock is the hosting node's domain-scoped clock wrapped in the
+	// slice's per-node timer group; everything the virtual node
+	// schedules at runtime (Click timers, OSPF/RIP periodics, control
+	// timestamps) runs in that domain, and teardown cancels whatever is
+	// still pending through the group.
 	clock sim.Clock
-	proc  *netem.Process
+	group *sim.TimerGroup
+	// suspended silences control-plane output while the slice is
+	// paused (data-plane output stops with the parked process; control
+	// packets bypass the scheduler, so they need their own gate).
+	suspended bool
+	proc      *netem.Process
 	// Router is the Click graph, built by parsing a generated
 	// configuration in the Click language.
 	Router *click.Router
@@ -107,11 +114,12 @@ func newVirtualNode(s *Slice, phys *netem.Node, tap netip.Addr) (*VirtualNode, e
 	vn := &VirtualNode{
 		slice:   s,
 		phys:    phys,
-		clock:   phys.Clock(),
+		group:   sim.NewTimerGroup(phys.Clock()),
 		FIB:     fib.New(),
 		Encap:   fib.NewEncapTable(),
 		TapAddr: tap,
 	}
+	vn.clock = vn.group
 	vn.rib = fea.NewRIB(vn.FIB)
 	vn.proc = phys.NewProcess(netem.ProcessConfig{
 		Name:   s.cfg.Name + "-click",
@@ -181,8 +189,12 @@ func newVirtualNode(s *Slice, phys *netem.Node, tap netip.Addr) (*VirtualNode, e
 	if _, err := vn.proc.OpenUDP(s.basePort, vn.tunnelReceive); err != nil {
 		return nil, err
 	}
+	// The process handle closes sockets, port ranges, tap captures, and
+	// the scheduler task at teardown.
+	s.res.acquire("proc", vn.proc.Name, func() { vn.proc.Close() })
 	// The node answers for its tap address.
 	phys.AddAddr(tap)
+	s.res.acquire("addr", tap.String(), func() { phys.RemoveAddr(tap) })
 	// Connected host route for the tap address itself.
 	vn.rib.SetRoutes("connected", fea.DistConnected, []fib.Route{
 		{Prefix: netip.PrefixFrom(tap, 32), OutPort: portTap},
@@ -254,6 +266,7 @@ func (vn *VirtualNode) addInterface(prefix netip.Prefix, local, peerAddr netip.A
 	// The node answers for its interface address; connected routes send
 	// /30 traffic to the peer via the tunnel and our own address to tap.
 	vn.phys.AddAddr(local)
+	vn.slice.res.acquire("addr", local.String(), func() { vn.phys.RemoveAddr(local) })
 	vn.addConnected(fib.Route{Prefix: netip.PrefixFrom(local, 32), OutPort: portTap})
 	vn.addConnected(fib.Route{Prefix: prefix.Masked(), NextHop: peerAddr, OutPort: portEncap, Metric: 1})
 	return idx, nil
@@ -361,6 +374,12 @@ func (vn *VirtualNode) tunnelReceive(p *packet.Packet) {
 // chain so failure injection cuts routing adjacencies exactly as it cuts
 // data traffic.
 func (vn *VirtualNode) sendControl(ifIndex int, dgram []byte) {
+	if vn.suspended {
+		// Paused slice: control output bypasses the (parked) CPU
+		// scheduler, so it is gated here; the peer's dead timer expires
+		// exactly as it would for a crashed sliver.
+		return
+	}
 	if ifIndex < 0 || ifIndex >= len(vn.ifaces) {
 		return
 	}

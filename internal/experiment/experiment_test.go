@@ -397,3 +397,52 @@ duration 25s
 		t.Fatalf("star loss = %.1f%%", res2.Pings[0].LossPct)
 	}
 }
+
+func TestSpecLifecycleDirectives(t *testing.T) {
+	sp, err := ParseSpec(`
+topology line a b c
+slice test reservation 0.3 rt
+ospf hello 1s dead 3s
+ping a c interval 200ms
+at 2s pause
+at 6s resume
+at 14s reembed
+at 16s teardown
+warmup 20s
+duration 18s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Events) != 4 {
+		t.Fatalf("events = %d, want 4", len(sp.Events))
+	}
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paused 2s-6s the slice drops everything and OSPF adjacencies die;
+	// resumed, it reconverges; torn down at 16s it goes dark again. So
+	// loss is substantial but not total.
+	p := res.Pings[0]
+	if p.LossPct < 10 || p.LossPct > 95 {
+		t.Fatalf("loss = %.1f%%, want a paused+torn-down window", p.LossPct)
+	}
+	var sawPause, sawTeardown bool
+	for _, l := range res.Log {
+		sawPause = sawPause || strings.Contains(l, "pause")
+		sawTeardown = sawTeardown || strings.Contains(l, "teardown")
+	}
+	if !sawPause || !sawTeardown {
+		t.Fatalf("event log = %v", res.Log)
+	}
+	// Lifecycle directives reject endpoint arguments and vice versa.
+	for _, bad := range []string{
+		"topology abilene\nat 1s pause a b",
+		"topology abilene\nat 1s fail-virtual",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

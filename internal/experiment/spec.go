@@ -29,6 +29,10 @@ import (
 //	at 10s fail-virtual denver kansas-city
 //	at 34s restore-virtual denver kansas-city
 //	at 20s fail-physical denver kansas-city
+//	at 25s reembed
+//	at 30s pause
+//	at 35s resume
+//	at 45s teardown
 //	duration 50s
 type Spec struct {
 	Topology string // "abilene" or "line <n1> <n2> ..."
@@ -47,8 +51,11 @@ type Spec struct {
 
 // Event is one scheduled action.
 type Event struct {
-	At     time.Duration
-	Action string // fail-virtual, restore-virtual, fail-physical, restore-physical
+	At time.Duration
+	// Action is a link action (fail-virtual, restore-virtual,
+	// fail-physical, restore-physical) with A and B set, or a slice
+	// lifecycle action (pause, resume, teardown, reembed) without.
+	Action string
 	A, B   string
 }
 
@@ -179,19 +186,29 @@ func ParseSpec(text string) (*Spec, error) {
 			}
 			sp.Traffic = append(sp.Traffic, ts)
 		case "at":
-			if len(f) != 5 {
-				return nil, fail("at <time> <action> <a> <b>")
+			if len(f) != 5 && len(f) != 3 {
+				return nil, fail("at <time> <action> [<a> <b>]")
 			}
 			d, err := time.ParseDuration(f[1])
 			if err != nil {
 				return nil, fail("bad time %q", f[1])
 			}
+			ev := Event{At: d, Action: f[2]}
 			switch f[2] {
 			case "fail-virtual", "restore-virtual", "fail-physical", "restore-physical":
+				if len(f) != 5 {
+					return nil, fail("%s needs <a> <b>", f[2])
+				}
+				ev.A, ev.B = f[3], f[4]
+			case "pause", "resume", "teardown", "reembed":
+				// Slice lifecycle actions take no endpoints.
+				if len(f) != 3 {
+					return nil, fail("%s takes no arguments", f[2])
+				}
 			default:
 				return nil, fail("unknown action %q", f[2])
 			}
-			sp.Events = append(sp.Events, Event{At: d, Action: f[2], A: f[3], B: f[4]})
+			sp.Events = append(sp.Events, ev)
 		case "duration":
 			if len(f) < 2 {
 				return nil, fail("duration needs a value")
@@ -367,8 +384,8 @@ func (sp *Spec) Run() (*Result, error) {
 	for _, ev := range sp.Events {
 		ev := ev
 		v.Loop().Schedule(ev.At, func() {
-			res.Log = append(res.Log, fmt.Sprintf("t=%s %s %s %s",
-				ev.At, ev.Action, ev.A, ev.B))
+			res.Log = append(res.Log, strings.TrimSpace(fmt.Sprintf("t=%s %s %s %s",
+				ev.At, ev.Action, ev.A, ev.B)))
 			switch ev.Action {
 			case "fail-virtual", "restore-virtual":
 				if vl, ok := s.FindVirtualLink(ev.A, ev.B); ok {
@@ -378,6 +395,24 @@ func (sp *Spec) Run() (*Result, error) {
 				v.FailLink(ev.A, ev.B, 100*time.Millisecond)
 			case "restore-physical":
 				v.RestoreLink(ev.A, ev.B, 100*time.Millisecond)
+			case "pause":
+				if err := s.Pause(); err != nil {
+					res.Log = append(res.Log, "pause: "+err.Error())
+				}
+			case "resume":
+				if err := s.Resume(); err != nil {
+					res.Log = append(res.Log, "resume: "+err.Error())
+				}
+			case "teardown":
+				if err := s.Destroy(); err != nil {
+					res.Log = append(res.Log, "teardown: "+err.Error())
+				}
+			case "reembed":
+				if n, err := s.ReEmbed(); err != nil {
+					res.Log = append(res.Log, "reembed: "+err.Error())
+				} else {
+					res.Log = append(res.Log, fmt.Sprintf("reembed moved %d links", n))
+				}
 			}
 		})
 	}

@@ -175,9 +175,20 @@ func (w *Network) FindLink(a, b string) (*Link, bool) {
 	return nil, false
 }
 
-// OnLinkEvent registers an upcall for physical topology changes.
-func (w *Network) OnLinkEvent(fn func(ev LinkEvent)) {
+// OnLinkEvent registers an upcall for physical topology changes and
+// returns a subscription id for Unsubscribe (slice teardown must detach
+// its upcall so a destroyed slice can never be called back).
+func (w *Network) OnLinkEvent(fn func(ev LinkEvent)) int {
 	w.alarms = append(w.alarms, fn)
+	return len(w.alarms) - 1
+}
+
+// Unsubscribe detaches a link-event upcall by the id OnLinkEvent
+// returned. The slot is nilled (not compacted) so other ids stay valid.
+func (w *Network) Unsubscribe(id int) {
+	if id >= 0 && id < len(w.alarms) {
+		w.alarms[id] = nil
+	}
 }
 
 // FailLink takes the physical link down, notifies upcall subscribers,
@@ -201,7 +212,9 @@ func (w *Network) setLink(a, b string, down bool, igpDelay time.Duration) error 
 	l.SetDown(down)
 	ev := LinkEvent{A: a, B: b, Down: down, At: w.loop.Now()}
 	for _, fn := range w.alarms {
-		fn(ev)
+		if fn != nil {
+			fn(ev)
+		}
 	}
 	if igpDelay >= 0 {
 		w.loop.Schedule(igpDelay, func() { w.ComputeRoutes() })

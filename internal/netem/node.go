@@ -117,6 +117,17 @@ func (n *Node) Routes() *fib.Table { return n.routes }
 // AddAddr adds a local alias address.
 func (n *Node) AddAddr(a netip.Addr) { n.addrs[a] = true }
 
+// RemoveAddr drops a local alias (slice teardown). Stale /32 host routes
+// other nodes still hold for it simply fail the local-delivery check
+// until the next ComputeRoutes stops advertising the address; in-flight
+// packets addressed to it drop deterministically at this node.
+func (n *Node) RemoveAddr(a netip.Addr) {
+	if a == n.addr {
+		return // the primary address is not removable
+	}
+	delete(n.addrs, a)
+}
+
 // HasAddr reports whether a is local to this node.
 func (n *Node) HasAddr(a netip.Addr) bool { return n.addrs[a] }
 

@@ -24,6 +24,11 @@ type Process struct {
 	socks []*Socket
 	// handler consumes one packet when the process runs.
 	pending int
+	// paused drops inbound traffic at the socket (slice pause); the
+	// scheduler task is suspended in step.
+	paused bool
+	// closed marks a torn-down process; Close is idempotent.
+	closed bool
 }
 
 // Socket is a UDP socket bound by a process.
@@ -33,6 +38,9 @@ type Socket struct {
 	handler func(p *packet.Packet)
 	buf     []*packet.Packet
 	bufB    int
+	// closed rejects enqueues and makes an in-flight delivery drop its
+	// packet instead of running the handler (teardown).
+	closed bool
 	// Drops counts receive-buffer overflows (the Figure 6(a) metric).
 	Drops uint64
 	// Received counts accepted packets.
@@ -112,6 +120,14 @@ func (p *Process) OpenTap(prefix netip.Prefix, handler func(pkt *packet.Packet))
 // enqueue adds a packet to the socket buffer, waking the process; tail
 // drops when the receive buffer is full.
 func (s *Socket) enqueue(p *packet.Packet) {
+	if s.closed || s.proc.paused {
+		// A closed socket has no consumer; a paused process models a
+		// stopped slice whose kernel buffers fill and tail-drop. Either
+		// way the packet dies here.
+		s.Drops++
+		p.Release()
+		return
+	}
 	prof := s.proc.node.prof
 	if s.bufB+p.Len() > prof.SocketBuf {
 		s.Drops++
@@ -169,9 +185,78 @@ func (p *Process) work(budget time.Duration) (time.Duration, bool) {
 	s.buf = s.buf[1:]
 	s.bufB -= pkt.Len()
 	p.pending--
-	p.node.dom.Schedule(cost, func() { s.handler(pkt) })
+	p.node.dom.Schedule(cost, func() {
+		if s.closed {
+			// The process was torn down while this delivery was in
+			// flight; the handler's world no longer exists.
+			pkt.Release()
+			return
+		}
+		s.handler(pkt)
+	})
 	return cost, p.pending > 0
 }
+
+// SetPaused freezes or thaws the process: inbound packets tail-drop at
+// its sockets and the scheduler task is parked (so buffered work stops
+// too). Must run in the node's domain or at a barrier.
+func (p *Process) SetPaused(v bool) {
+	if p.closed || p.paused == v {
+		return
+	}
+	p.paused = v
+	p.task.SetSuspended(v)
+}
+
+// Close tears the process down: every socket is closed and its buffered
+// packets returned to the pool, port bindings and tap/port-range
+// captures are removed from the node, the process is deregistered, and
+// its scheduler task removed. Idempotent. Must run in the node's domain
+// or at a barrier. Deliveries already paid for (scheduled by work) drain
+// harmlessly: the closed flag makes them release their packet.
+func (p *Process) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	n := p.node
+	for _, s := range p.socks {
+		s.closed = true
+		if s.port != 0 && n.udpPorts[s.port] == s {
+			delete(n.udpPorts, s.port)
+		}
+		for _, pkt := range s.buf {
+			pkt.Release()
+		}
+		s.buf = nil
+		s.bufB = 0
+	}
+	p.pending = 0
+	taps := n.taps[:0]
+	for _, t := range n.taps {
+		if t.sock.proc != p {
+			taps = append(taps, t)
+		}
+	}
+	n.taps = taps
+	ranges := n.portRanges[:0]
+	for _, r := range n.portRanges {
+		if r.sock.proc != p {
+			ranges = append(ranges, r)
+		}
+	}
+	n.portRanges = ranges
+	for i, x := range n.procs {
+		if x == p {
+			n.procs = append(n.procs[:i], n.procs[i+1:]...)
+			break
+		}
+	}
+	n.CPU.RemoveTask(p.task)
+}
+
+// Closed reports whether Close has run.
+func (p *Process) Closed() bool { return p.closed }
 
 // nextReady returns the socket with the oldest waiting packet, so service
 // order matches arrival order across sockets (what poll gives Click).

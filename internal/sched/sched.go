@@ -88,6 +88,12 @@ type Task struct {
 	// runnable means the task has (or believes it has) pending work.
 	runnable bool
 	queued   bool
+	// suspended parks the task: it keeps its registration and queue
+	// position but is never selected until resumed (slice pause).
+	suspended bool
+	// removed marks a task deregistered via RemoveTask; Wake becomes
+	// inert so a stale reference cannot resurrect it.
+	removed bool
 	// tokens is the CPU-time bucket; lazily refilled.
 	tokens     time.Duration
 	lastRefill time.Duration
@@ -128,6 +134,29 @@ func (t *Task) SetRT(rt bool) { t.cfg.RT = rt }
 
 // SetShare changes the token fill rate (fair share vs 25% reservation).
 func (t *Task) SetShare(s float64) { t.cfg.Share = s }
+
+// SetSuspended parks or resumes the task. A suspended task is never
+// selected (its class is ineligible) and never preempts; if it is
+// mid-quantum the current grain completes and the rotation parks it.
+// Resuming a runnable task re-queues it and kicks the scheduler.
+func (t *Task) SetSuspended(v bool) {
+	if t.suspended == v || t.removed {
+		return
+	}
+	t.suspended = v
+	if v {
+		return
+	}
+	c := t.cpu
+	if t.runnable && !t.queued && c.current != t {
+		t.queued = true
+		c.queue = append(c.queue, t)
+	}
+	c.kick()
+}
+
+// Suspended reports whether the task is parked.
+func (t *Task) Suspended() bool { return t.suspended }
 
 // CPU is one simulated processor.
 type CPU struct {
@@ -174,6 +203,38 @@ func (c *CPU) NewTask(cfg TaskConfig) *Task {
 	return t
 }
 
+// RemoveTask deregisters a task (slice teardown). The task is dropped
+// from the registration list and the run queue, a pending wake can no
+// longer resurrect it, and if it was the current selection the in-flight
+// grain completes but nothing further is charged to it.
+func (c *CPU) RemoveTask(t *Task) {
+	if t == nil || t.removed {
+		return
+	}
+	t.removed = true
+	t.runnable = false
+	for i, x := range c.tasks {
+		if x == t {
+			c.tasks = append(c.tasks[:i], c.tasks[i+1:]...)
+			break
+		}
+	}
+	if t.queued {
+		for i, x := range c.queue {
+			if x == t {
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				break
+			}
+		}
+		t.queued = false
+	}
+	if c.current == t {
+		// grainDone tolerates a nil current: it simply picks the next
+		// queued task when the in-flight grain timer pops.
+		c.current = nil
+	}
+}
+
 // Utilization returns the busy fraction of the CPU since accounting start.
 func (c *CPU) Utilization() float64 {
 	elapsed := c.clock.Now() - c.started
@@ -206,6 +267,9 @@ func (c *CPU) ResetAccounting() {
 // Wake marks the task runnable. Safe to call redundantly; the overlay
 // calls it on every packet arrival.
 func (t *Task) Wake() {
+	if t.removed {
+		return
+	}
 	c := t.cpu
 	if !t.runnable {
 		t.runnable = true
@@ -237,9 +301,13 @@ func (t *Task) refill() {
 // class returns the task's current scheduling class: 0 = real-time with
 // tokens, 1 = tokens available, 2 = work-conserving only, 3 =
 // ineligible (a strict task with an empty bucket never runs on idle
-// cycles). Lower is better.
+// cycles; suspended and removed tasks are always ineligible). Lower is
+// better.
 func (t *Task) class() int {
 	t.refill()
+	if t.suspended || t.removed {
+		return 3
+	}
 	switch {
 	case t.cfg.RT && t.tokens > 0:
 		return 0
@@ -331,7 +399,7 @@ func (c *CPU) dispatch() {
 func (c *CPU) grainDone() {
 	cur := c.current
 	if cur != nil {
-		rotate := !cur.runnable || cur.quantumLeft <= 0
+		rotate := !cur.runnable || cur.quantumLeft <= 0 || cur.suspended
 		if !rotate && len(c.queue) > 0 {
 			// Mid-quantum preemption is a real-time privilege only; an
 			// ordinary slice waking with tokens still waits for the
@@ -347,7 +415,7 @@ func (c *CPU) grainDone() {
 		}
 		if rotate {
 			c.current = nil
-			if cur.runnable && !cur.queued {
+			if cur.runnable && !cur.queued && !cur.suspended {
 				cur.queued = true
 				c.queue = append(c.queue, cur)
 			}
@@ -366,7 +434,7 @@ func (c *CPU) armRefillKick() {
 	}
 	var wait time.Duration = -1
 	for _, t := range c.queue {
-		if !t.cfg.Strict || t.cfg.Share <= 0 {
+		if !t.cfg.Strict || t.cfg.Share <= 0 || t.suspended || t.removed {
 			continue
 		}
 		t.refill()

@@ -290,3 +290,104 @@ func TestStrictUnaffectedByContention(t *testing.T) {
 		t.Fatalf("strict allocation varies with load: %.3f vs %.3f", idle, loaded)
 	}
 }
+
+func TestSuspendResume(t *testing.T) {
+	loop := sim.NewLoop(1)
+	cpu := New(loop, Options{})
+	a := cpu.NewTask(hogTask("a", 0.05))
+	b := cpu.NewTask(hogTask("b", 0.05))
+	a.Wake()
+	b.Wake()
+	loop.Run(time.Second)
+	a.SetSuspended(true)
+	if !a.Suspended() {
+		t.Fatal("SetSuspended(true) did not stick")
+	}
+	cpu.ResetAccounting()
+	loop.Run(2 * time.Second)
+	if u := cpu.TaskUtilization(a); u > 0.01 {
+		t.Fatalf("suspended task still ran: %.3f", u)
+	}
+	if u := cpu.TaskUtilization(b); u < 0.99 {
+		t.Fatalf("remaining task did not absorb the CPU: %.3f", u)
+	}
+	// Waking a suspended task must not run it either.
+	a.Wake()
+	cpu.ResetAccounting()
+	loop.Run(4 * time.Second)
+	if u := cpu.TaskUtilization(a); u > 0.01 {
+		t.Fatalf("suspended task ran after Wake: %.3f", u)
+	}
+	a.SetSuspended(false)
+	cpu.ResetAccounting()
+	loop.Run(6 * time.Second)
+	ua, ub := cpu.TaskUtilization(a), cpu.TaskUtilization(b)
+	if math.Abs(ua-ub) > 0.05 {
+		t.Fatalf("resume did not restore fair split: a=%.3f b=%.3f", ua, ub)
+	}
+}
+
+func TestSuspendedStrictTaskDoesNotSpinRefillKicks(t *testing.T) {
+	loop := sim.NewLoop(1)
+	cpu := New(loop, Options{})
+	s := cpu.NewTask(TaskConfig{Name: "strict", Share: 0.25, Strict: true,
+		Work: func(budget time.Duration) (time.Duration, bool) { return budget, true }})
+	s.Wake()
+	loop.Run(time.Second)
+	s.SetSuspended(true)
+	s.Wake() // re-queues, but must not arm refill kicks forever
+	loop.Run(2 * time.Second)
+	// With only a suspended strict task queued, the loop must drain
+	// instead of self-perpetuating refill kicks.
+	if n := loop.Pending(); n != 0 {
+		t.Fatalf("refill kicks pending for suspended strict task: %d", n)
+	}
+}
+
+func TestRemoveTask(t *testing.T) {
+	loop := sim.NewLoop(1)
+	cpu := New(loop, Options{})
+	a := cpu.NewTask(hogTask("a", 0.05))
+	b := cpu.NewTask(hogTask("b", 0.05))
+	a.Wake()
+	b.Wake()
+	loop.Run(time.Second)
+	cpu.RemoveTask(a)
+	before := a.Used() // ResetAccounting no longer covers a: it is deregistered
+	cpu.ResetAccounting()
+	loop.Run(2 * time.Second)
+	if d := a.Used() - before; d > 0 {
+		t.Fatalf("removed task still ran: %v", d)
+	}
+	if u := cpu.TaskUtilization(b); u < 0.99 {
+		t.Fatalf("survivor did not get the CPU: %.3f", u)
+	}
+	// A stale Wake reference must be inert.
+	a.Wake()
+	if a.queued {
+		t.Fatal("Wake resurrected a removed task")
+	}
+	cpu.RemoveTask(a) // idempotent
+	if len(cpu.tasks) != 1 {
+		t.Fatalf("task list has %d entries, want 1", len(cpu.tasks))
+	}
+}
+
+func TestRemoveCurrentTaskMidQuantum(t *testing.T) {
+	loop := sim.NewLoop(1)
+	cpu := New(loop, Options{})
+	a := cpu.NewTask(hogTask("a", 0.05))
+	b := cpu.NewTask(hogTask("b", 0.05))
+	a.Wake()
+	b.Wake()
+	// Stop while a grain is in flight: the grain timer is pending and
+	// current is (probably) set.
+	loop.Run(3 * time.Millisecond)
+	cpu.RemoveTask(cpu.current)
+	loop.Run(time.Second)
+	// Whichever task survived owns the machine; no panic, no stall.
+	total := cpu.TaskUtilization(a) + cpu.TaskUtilization(b)
+	if total < 0.9 {
+		t.Fatalf("CPU stalled after removing current task: %.3f", total)
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import "time"
+
+// TimerGroup is a Clock wrapper that tracks every timer scheduled
+// through it, so a whole subsystem's pending work can be cancelled in
+// one call — the mechanism slice teardown uses to guarantee no orphaned
+// timers survive in any domain heap. Protocol code keeps its own Timer
+// handles and stops them individually as usual; the group is the
+// backstop for the timers nobody saved (periodic reschedules, staggered
+// start closures, shaper release chains).
+//
+// A group is owned by exactly one timeline: it must only be used from
+// code running inside the wrapped clock's domain or at a barrier
+// (driver code between Run calls, control-domain events) — the same
+// contract as Domain.Schedule itself. It is not safe for concurrent
+// use from other domains.
+type TimerGroup struct {
+	clock   Clock
+	stopped bool
+	nextID  uint64
+	timers  map[uint64]Timer
+	// sweepAt triggers a compaction sweep of entries whose timers are
+	// no longer pending (fired entries self-delete, but individually
+	// Stopped ones linger until swept).
+	sweepAt int
+}
+
+// NewTimerGroup wraps clock. The zero threshold starts sweeps at 64
+// outstanding entries.
+func NewTimerGroup(clock Clock) *TimerGroup {
+	return &TimerGroup{clock: clock, timers: make(map[uint64]Timer), sweepAt: 64}
+}
+
+// Now implements Clock.
+func (g *TimerGroup) Now() time.Duration { return g.clock.Now() }
+
+// Schedule implements Clock: fn runs on the wrapped clock at Now()+d
+// and the timer is tracked until it fires, is stopped, or StopAll runs.
+// After StopAll the group refuses new work (returning the zero Timer,
+// on which Stop is a no-op), so a periodic callback racing teardown
+// cannot re-arm itself.
+func (g *TimerGroup) Schedule(d time.Duration, fn func()) Timer {
+	if g.stopped {
+		return Timer{}
+	}
+	id := g.nextID
+	g.nextID++
+	t := g.clock.Schedule(d, func() {
+		delete(g.timers, id)
+		fn()
+	})
+	g.timers[id] = t
+	if len(g.timers) >= g.sweepAt {
+		g.sweep()
+	}
+	return t
+}
+
+// sweep drops entries whose timers already fired or were stopped
+// through their own handles, and raises the next sweep threshold so the
+// amortized cost stays constant per Schedule.
+func (g *TimerGroup) sweep() {
+	for id, t := range g.timers {
+		if !t.Pending() {
+			delete(g.timers, id)
+		}
+	}
+	g.sweepAt = 2 * len(g.timers)
+	if g.sweepAt < 64 {
+		g.sweepAt = 64
+	}
+}
+
+// Live returns the number of tracked timers still pending — zero after
+// a complete teardown, which is exactly what the lifecycle audit
+// asserts.
+func (g *TimerGroup) Live() int {
+	n := 0
+	for _, t := range g.timers {
+		if t.Pending() {
+			n++
+		}
+	}
+	return n
+}
+
+// StopAll cancels every tracked pending timer and marks the group
+// stopped. In-domain timers leave their heap immediately (Timer.Stop
+// removes the event eagerly), so after StopAll none of the group's
+// work remains in any domain heap. It returns how many timers were
+// actually cancelled. Cancellation order is map order, which is fine:
+// removing a set of events from a heap yields the same remaining heap
+// contents regardless of removal order, so determinism is unaffected.
+func (g *TimerGroup) StopAll() int {
+	g.stopped = true
+	n := 0
+	for id, t := range g.timers {
+		if t.Stop() {
+			n++
+		}
+		delete(g.timers, id)
+	}
+	return n
+}
+
+// Stopped reports whether StopAll has run.
+func (g *TimerGroup) Stopped() bool { return g.stopped }

@@ -82,6 +82,22 @@ func (t Timer) Stop() bool {
 // Callers use it where a nil *Timer check would have appeared.
 func (t Timer) IsZero() bool { return t.ev == nil && t.cancel == nil && t.real == nil }
 
+// Pending reports whether the timer's callback is still scheduled: not
+// yet fired and not stopped. For in-domain timers the generation stamp
+// answers exactly; for cross-domain timers the shared cancellation flag
+// does. RealClock timers report false — the wall clock offers no
+// portable way to inspect a time.Timer, and the lifecycle audits that
+// need Pending only run in simulation.
+func (t Timer) Pending() bool {
+	if t.real != nil {
+		return false
+	}
+	if t.cancel != nil {
+		return t.cancel.Load() == timerPending
+	}
+	return t.ev != nil && t.ev.gen == t.gen
+}
+
 type event struct {
 	at  time.Duration
 	dom int32  // origin domain id (merge-key component)

@@ -272,6 +272,49 @@ func (r *Registry) FindCounter(slice, node, name string) *Counter {
 	return nil
 }
 
+// Retire removes every series whose slice label matches slice (slice
+// teardown), returning the number retired. Handles already held by
+// publishers stay writable — they just no longer appear in snapshots,
+// digests, or exports — so a straggling in-flight event cannot crash.
+// A fresh order slice is built rather than compacting in place, because
+// Snapshot serves capped views of the old backing array.
+func (r *Registry) Retire(slice string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := make([]*metric, 0, len(r.order))
+	n := 0
+	for _, m := range r.order {
+		if m.key.slice == slice {
+			delete(r.index, m.key)
+			n++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	r.order = kept
+	return n
+}
+
+// Series returns the number of registered series for the slice label
+// (the lifecycle audit asserts zero after teardown).
+func (r *Registry) Series(slice string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, m := range r.order {
+		if m.key.slice == slice {
+			n++
+		}
+	}
+	return n
+}
+
 // Scope binds a registry to a (slice, node) pair plus a name prefix,
 // so publishers hold one handle factory instead of repeating labels.
 type Scope struct {

@@ -268,3 +268,41 @@ func TestHotPathZeroAlloc(t *testing.T) {
 		t.Fatalf("nil Counter.Add: %.1f allocs/op, want 0", allocs)
 	}
 }
+
+func TestRegistryRetire(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s1", "n1", "pkts").Add(3)
+	r.Counter("s1", "n2", "pkts").Add(4)
+	r.Counter("s2", "n1", "pkts").Add(5)
+	r.Gauge("s1", "n1", "depth").Set(7)
+	snapBefore := r.Snapshot()
+	if n := r.Retire("s1"); n != 3 {
+		t.Fatalf("Retire = %d, want 3", n)
+	}
+	if n := r.Series("s1"); n != 0 {
+		t.Fatalf("Series(s1) after Retire = %d", n)
+	}
+	if n := r.Series("s2"); n != 1 {
+		t.Fatalf("Series(s2) = %d, want 1", n)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Slice != "s2" || snap[0].Value != 5 {
+		t.Fatalf("post-retire snapshot = %+v", snap)
+	}
+	// The pre-retire snapshot view is unaffected (fresh order slice).
+	if len(snapBefore) != 4 {
+		t.Fatalf("old snapshot mutated: %d entries", len(snapBefore))
+	}
+	// Re-registering the key yields a fresh series at zero.
+	c := r.Counter("s1", "n1", "pkts")
+	if c.Value() != 0 {
+		t.Fatalf("re-registered counter = %d, want 0", c.Value())
+	}
+	if n := r.Retire("nope"); n != 0 {
+		t.Fatalf("Retire of absent slice = %d", n)
+	}
+	var nilReg *Registry
+	if nilReg.Retire("x") != 0 || nilReg.Series("x") != 0 {
+		t.Fatal("nil registry not nil-safe")
+	}
+}
