@@ -30,6 +30,7 @@ var (
 	seedFlag     = flag.Int64("seed", 2, "simulation seed")
 	short        = flag.Bool("short", false, "shorter measurement windows")
 	parallelFlag = flag.Int("parallel", 4, "max worker count for the parallel-executor benchmark")
+	baselineFlag = flag.String("baseline", "", "path to a prior BENCH_parallel.json; the parallel experiment fails if the max-worker events/sec regresses more than 15% below it")
 	verbose      = flag.Bool("v", false, "print per-domain event counters in the parallel experiment")
 )
 
@@ -91,8 +92,10 @@ func telemetryExp() error {
 			c.Link, dir, c.At, c.Installs, c.Duration)
 	}
 	prof := e.V.ExecutorProfile()
-	fmt.Printf("executor: %d workers, %d rounds, %d fallbacks\n",
-		prof.Workers, prof.Rounds, prof.Fallbacks)
+	fmt.Printf("executor: %d workers, %d rounds, %d windows, %d fallbacks\n",
+		prof.Workers, prof.Rounds, prof.Windows, prof.Fallbacks)
+	fmt.Printf("executor: %d trains carrying %d messages, %d deliveries, %d steals, %d parks (%v parked)\n",
+		prof.Trains, prof.TrainMsgs, prof.Deliveries, prof.Steals, prof.Parks, prof.ParkTime.Round(time.Millisecond))
 	if *verbose {
 		for _, d := range prof.Domains {
 			fmt.Printf("  dom %2d %-14s now=%-10v lookahead=%-8v fired=%-7d scheduled=%-7d sent=%-6d delivered=%-6d stalls=%d\n",

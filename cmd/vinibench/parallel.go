@@ -19,14 +19,31 @@ import (
 // parallelRow is one engine configuration's measurement in the
 // BENCH_parallel.json report.
 type parallelRow struct {
-	Name           string  `json:"name"`
-	Workers        int     `json:"workers"`
-	WallSeconds    float64 `json:"wall_seconds"`
-	Events         uint64  `json:"events"`
-	EventsPerSec   float64 `json:"events_per_sec"`
-	Rounds         uint64  `json:"rounds"`
-	Fallbacks      uint64  `json:"fallbacks"`
-	ScheduleDigest string  `json:"schedule_digest"`
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Events counts fired events. Since cross-domain hand-offs became
+	// typed deliveries (no wrapper events on either path), a fired
+	// event means the same thing in classic and sharded mode: one
+	// semantic action. Residual differences between the modes are real
+	// workload divergence — the engines fork RNG streams differently
+	// and are separate deterministic baselines — not accounting noise.
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Deliveries is reported separately: cross-domain typed messages
+	// delivered into a destination heap (0 in classic mode, where every
+	// hop is a local event).
+	Deliveries uint64 `json:"deliveries"`
+	// Rounds counts coordinator quiescence epochs (classic: events).
+	Rounds    uint64 `json:"rounds"`
+	Windows   uint64 `json:"windows"`
+	Fallbacks uint64 `json:"fallbacks"`
+	Trains    uint64 `json:"trains"`
+	TrainMsgs uint64 `json:"train_msgs"`
+	// Steals is wall-clock/interleaving dependent (diagnostic only).
+	Steals         uint64 `json:"steals"`
+	ScheduleDigest string `json:"schedule_digest"`
 	// PerDomain maps domain label -> fired event count; the full
 	// counter set prints under -v.
 	PerDomain map[string]uint64 `json:"per_domain_fired,omitempty"`
@@ -124,10 +141,15 @@ func runParallelBench(workers int, window time.Duration) (parallelRow, []sim.Dom
 	v.Run(window)
 	row.WallSeconds = time.Since(start).Seconds()
 	x := v.Executor()
+	row.Gomaxprocs = runtime.GOMAXPROCS(0)
 	row.Events = x.TotalFired()
 	row.EventsPerSec = float64(row.Events) / row.WallSeconds
+	row.Deliveries = x.Deliveries()
 	row.Rounds = x.Rounds()
+	row.Windows = x.Windows()
 	row.Fallbacks = x.Fallbacks()
+	row.Trains, row.TrainMsgs = x.TrainStats()
+	row.Steals = x.Steals()
 	row.ScheduleDigest = fmt.Sprintf("%016x", x.ScheduleDigest())
 	stats := x.Stats()
 	if workers > 0 {
@@ -155,8 +177,8 @@ func parallelExp() error {
 	}
 	fmt.Printf("4-slice Abilene (11 PoPs, min link delay 2.25ms), %v virtual time\n", window)
 	fmt.Printf("host: %d CPUs, GOMAXPROCS=%d\n", runtime.NumCPU(), runtime.GOMAXPROCS(0))
-	fmt.Printf("%-14s %10s %12s %14s %10s %10s\n",
-		"engine", "wall", "events", "events/sec", "rounds", "fallbacks")
+	fmt.Printf("%-14s %10s %12s %14s %12s %8s %10s %10s %10s\n",
+		"engine", "wall", "events", "events/sec", "deliveries", "rounds", "trains", "steals", "fallbacks")
 	rep := parallelReport{
 		Topology: "abilene", Slices: len(cbrPairs),
 		VirtualSecs: window.Seconds(),
@@ -170,8 +192,9 @@ func parallelExp() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-14s %9.2fs %12d %14.0f %10d %10d\n",
-			row.Name, row.WallSeconds, row.Events, row.EventsPerSec, row.Rounds, row.Fallbacks)
+		fmt.Printf("%-14s %9.2fs %12d %14.0f %12d %8d %10d %10d %10d\n",
+			row.Name, row.WallSeconds, row.Events, row.EventsPerSec,
+			row.Deliveries, row.Rounds, row.Trains, row.Steals, row.Fallbacks)
 		if *verbose && w > 0 {
 			fmt.Printf("  %-14s %10s %10s %10s %10s %10s %10s %8s\n",
 				"domain", "scheduled", "sent", "delivered", "fired", "cancelled", "recycled", "stalls")
@@ -220,6 +243,49 @@ func parallelExp() error {
 	fmt.Println("wrote BENCH_parallel.json")
 	if !rep.DigestsAgree {
 		return fmt.Errorf("parallel: schedule digests diverged across worker counts")
+	}
+	if *baselineFlag != "" {
+		if err := checkBaseline(*baselineFlag, rep, maxW); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkBaseline compares the max-worker leg's throughput against a
+// committed prior report and fails on a regression of more than 15%.
+// The committed baseline records whatever host class generated it, so
+// the gate is a floor, not a race: a faster runner passes trivially,
+// while dropping 15% below even the baseline host signals a real
+// executor regression.
+func checkBaseline(path string, rep parallelReport, maxW int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("parallel: baseline: %w", err)
+	}
+	var base parallelReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parallel: baseline %s: %w", path, err)
+	}
+	pick := func(rows []parallelRow) *parallelRow {
+		for i := range rows {
+			if rows[i].Workers == maxW {
+				return &rows[i]
+			}
+		}
+		return nil
+	}
+	cur, prev := pick(rep.Rows), pick(base.Rows)
+	if cur == nil || prev == nil || prev.EventsPerSec <= 0 {
+		fmt.Printf("baseline %s has no comparable %d-worker row; skipping throughput gate\n", path, maxW)
+		return nil
+	}
+	ratio := cur.EventsPerSec / prev.EventsPerSec
+	fmt.Printf("baseline gate: %d-worker %.0f events/sec vs baseline %.0f (%.2fx, floor 0.85x; baseline host GOMAXPROCS=%d, this host %d)\n",
+		maxW, cur.EventsPerSec, prev.EventsPerSec, ratio, prev.Gomaxprocs, cur.Gomaxprocs)
+	if ratio < 0.85 {
+		return fmt.Errorf("parallel: %d-worker events/sec regressed %.0f%% below baseline %s",
+			maxW, (1-ratio)*100, path)
 	}
 	return nil
 }

@@ -176,6 +176,9 @@ func (s *Slice) Audit() error {
 			if n := vn.group.Live(); n != 0 {
 				return fmt.Errorf("core: destroyed slice %s has %d timers pending on %s", s.cfg.Name, n, name)
 			}
+			if n := vn.ticks.Live(); n != 0 {
+				return fmt.Errorf("core: destroyed slice %s has %d tick timers pending on %s", s.cfg.Name, n, name)
+			}
 		}
 		return nil
 	}
@@ -258,6 +261,7 @@ func (s *Slice) Destroy() error {
 	s.ctl.StopAll()
 	for _, name := range s.vorder {
 		s.vnodes[name].group.StopAll()
+		s.vnodes[name].ticks.StopAll()
 	}
 	// 3. Flush buffered packets out of every Click element so the pool
 	// ledger balances.

@@ -332,6 +332,7 @@ func (vn *VirtualNode) startOSPF(hello, dead time.Duration) {
 		Dead:     dead,
 		SPFDelay: vn.slice.SPFDelay,
 		Stubs:    stubs,
+		Ticks:    vn.ticks,
 	}
 	r := ospf.New(vn.clock, cfg, ospfTransport{vn})
 	for _, ifc := range vn.ifaces {
@@ -363,7 +364,7 @@ func (vn *VirtualNode) startOSPF(hello, dead time.Duration) {
 func (vn *VirtualNode) startRIP(update time.Duration) {
 	stubs := []netip.Prefix{netip.PrefixFrom(vn.TapAddr, 32)}
 	stubs = append(stubs, vn.extraStubs...)
-	r := rip.New(vn.clock, rip.Config{Update: update, Stubs: stubs}, ripTransport{vn})
+	r := rip.New(vn.clock, rip.Config{Update: update, Stubs: stubs, Ticks: vn.ticks}, ripTransport{vn})
 	for _, ifc := range vn.ifaces {
 		r.AddInterface(rip.Interface{
 			Name:   fmt.Sprintf("tun%d", ifc.Index),

@@ -50,6 +50,12 @@ type VirtualNode struct {
 	// still pending through the group.
 	clock sim.Clock
 	group *sim.TimerGroup
+	// ticks is a second group over the node's coarse tick clock (a
+	// per-node wheel in sharded mode, the domain itself in classic):
+	// periodic protocol timers (hellos, RIP updates) schedule here so
+	// they coalesce into shared slot events, and teardown cancels them
+	// the same way as the main group's.
+	ticks *sim.TimerGroup
 	// suspended silences control-plane output while the slice is
 	// paused (data-plane output stops with the parked process; control
 	// packets bypass the scheduler, so they need their own gate).
@@ -115,6 +121,7 @@ func newVirtualNode(s *Slice, phys *netem.Node, tap netip.Addr) (*VirtualNode, e
 		slice:   s,
 		phys:    phys,
 		group:   sim.NewTimerGroup(phys.Clock()),
+		ticks:   sim.NewTimerGroup(phys.Ticks()),
 		FIB:     fib.New(),
 		Encap:   fib.NewEncapTable(),
 		TapAddr: tap,

@@ -36,6 +36,9 @@ type Link struct {
 
 type linkDir struct {
 	link *Link
+	// dst is the receiving node of this direction (the typed delivery
+	// handler target in sharded mode).
+	dst *Node
 	// rng draws per-packet jitter. In classic mode this aliases the
 	// network RNG (preserving the historical draw sequence); in sharded
 	// mode each direction owns a forked stream, since transmit runs in
@@ -45,6 +48,12 @@ type linkDir struct {
 	busyUntil time.Duration
 	// queued tracks bytes committed but not yet serialized.
 	queued int
+	// pend records in-flight (arrival, size) pairs in sharded mode; the
+	// transmit path purges due entries lazily instead of scheduling one
+	// queue-drain event per packet. pendHead is the ring's consumed
+	// prefix.
+	pend     []drainRec
+	pendHead int
 	// Drops counts queue-overflow losses.
 	Drops uint64
 	// Packets and Bytes count transmissions.
@@ -52,9 +61,71 @@ type linkDir struct {
 	// lastArrival keeps delivery FIFO under per-packet jitter: a link is
 	// a pipe, so a later packet never overtakes an earlier one.
 	lastArrival time.Duration
+	// tx is the typed forward-onto-this-link handler (see linkTx).
+	tx linkTx
 	// Telemetry mirrors of the counters above; nil-safe, each direction
 	// written only from the source node's domain.
 	mPkts, mBytes, mDrops *telemetry.Counter
+}
+
+// drainRec is one lazily-drained transmit-queue entry.
+type drainRec struct {
+	at   time.Duration
+	size int
+}
+
+// linkTx is the typed handler for the kernel-forwarding hand-off onto a
+// link: forwardOut schedules it (same-domain, through the event free
+// list) after the forwarding latency, so the per-hop path costs no
+// closure allocation. One lives in each linkDir, with src the node that
+// transmits in that direction.
+type linkTx struct {
+	l   *Link
+	src *Node
+}
+
+// Invoke runs in src's domain: put the packet on the wire.
+func (t *linkTx) Invoke(arg any) { t.l.transmit(t.src, arg.(*packet.Packet)) }
+
+// txFrom returns the transmit handler for packets leaving src.
+func (l *Link) txFrom(src *Node) *linkTx {
+	if src == l.a {
+		return &l.dir[0].tx
+	}
+	return &l.dir[1].tx
+}
+
+// purge applies every due queue-drain entry, replicating the semantics
+// of the per-packet drain events it replaces: each entry decrements
+// queued, floored at zero (an idle-reset may already have zeroed it).
+func (d *linkDir) purge(now time.Duration) {
+	for d.pendHead < len(d.pend) && d.pend[d.pendHead].at <= now {
+		d.queued -= d.pend[d.pendHead].size
+		if d.queued < 0 {
+			d.queued = 0
+		}
+		d.pendHead++
+	}
+	if d.pendHead == len(d.pend) {
+		d.pend = d.pend[:0]
+		d.pendHead = 0
+	} else if d.pendHead > 64 && d.pendHead*2 > len(d.pend) {
+		n := copy(d.pend, d.pend[d.pendHead:])
+		d.pend = d.pend[:n]
+		d.pendHead = 0
+	}
+}
+
+// Invoke is the typed cross-domain delivery handler: it runs in the
+// receiving node's domain at the packet's arrival time, carried by a
+// pooled message train instead of a per-packet closure.
+func (d *linkDir) Invoke(arg any) {
+	p := arg.(*packet.Packet)
+	if d.link.down {
+		p.Release() // failed while in flight
+		return
+	}
+	d.dst.receive(p, d.link)
 }
 
 // Instrument attaches telemetry counters to one direction (0: A->B,
@@ -102,6 +173,11 @@ func (l *Link) transmit(src *Node, p *packet.Packet) {
 		panic("netem: transmit from node not on link")
 	}
 	now := src.dom.Now()
+	if src.dom != dst.dom {
+		// Sharded: apply queue drains that came due before this
+		// transmit (they ran as their own events on the classic path).
+		d.purge(now)
+	}
 	if d.busyUntil < now {
 		d.busyUntil = now
 		d.queued = 0
@@ -147,20 +223,11 @@ func (l *Link) transmit(src *Node, p *packet.Packet) {
 		return
 	}
 	// Sharded: the transmitter state (d.queued) belongs to src's domain
-	// and the receive path to dst's, so the arrival splits into a local
-	// queue-drain event and a cross-domain delivery message. Ownership
-	// of p transfers with the message.
-	src.dom.Schedule(arrival-now, func() {
-		d.queued -= size
-		if d.queued < 0 {
-			d.queued = 0
-		}
-	})
-	src.dom.SendTo(dst.dom, arrival-now, func() {
-		if l.down {
-			p.Release() // failed while in flight
-			return
-		}
-		dst.receive(p, l)
-	})
+	// and the receive path to dst's. The queue drain is recorded for
+	// lazy application at the next transmit (no event at all), and the
+	// delivery rides a typed message train — one pooled event in dst,
+	// zero allocations, one inbox lock per flushed train rather than
+	// per packet. Ownership of p transfers with the message.
+	d.pend = append(d.pend, drainRec{at: arrival, size: size})
+	src.dom.Send(dst.dom, arrival-now, d, p)
 }

@@ -144,8 +144,8 @@ func (w *Network) AddLink(cfg LinkConfig) (*Link, error) {
 		cfg.QueueBytes = 256 << 10
 	}
 	l := &Link{cfg: cfg, net: w, a: a, b: b}
-	l.dir[0] = &linkDir{link: l, rng: w.rng}
-	l.dir[1] = &linkDir{link: l, rng: w.rng}
+	l.dir[0] = &linkDir{link: l, rng: w.rng, dst: b, tx: linkTx{l: l, src: a}}
+	l.dir[1] = &linkDir{link: l, rng: w.rng, dst: a, tx: linkTx{l: l, src: b}}
 	if w.shard {
 		// Each direction draws jitter from its own stream (forked at
 		// construction, so deterministic) — transmit runs inside the
@@ -153,10 +153,12 @@ func (w *Network) AddLink(cfg LinkConfig) (*Link, error) {
 		l.dir[0].rng = w.rng.Fork()
 		l.dir[1].rng = w.rng.Fork()
 		if a.dom != b.dom {
-			// The link's propagation delay is the conservative
-			// lookahead it contributes to each endpoint's horizon.
-			a.dom.ObserveInboundLatency(cfg.Delay)
-			b.dom.ObserveInboundLatency(cfg.Delay)
+			// Register the per-pair edge: the link's propagation delay
+			// bounds how far each endpoint's published promise reaches
+			// into the other's horizon (adaptive per-neighbor
+			// lookahead, not a single worst-case minimum).
+			a.dom.ObserveInboundLink(b.dom, cfg.Delay)
+			b.dom.ObserveInboundLink(a.dom, cfg.Delay)
 		}
 	}
 	a.links = append(a.links, l)

@@ -59,6 +59,8 @@ type Node struct {
 	// Telemetry mirrors (nil-safe): cumulative kernel CPU nanoseconds
 	// and kernel drops, written only from this node's domain.
 	mKernel, mDrops *telemetry.Counter
+	// wheel coalesces coarse protocol ticks in sharded mode (see Ticks).
+	wheel *sim.TickWheel
 }
 
 // Instrument attaches the node's telemetry counters. Driver-time only.
@@ -107,6 +109,23 @@ func (n *Node) Clock() sim.Clock { return n.dom }
 
 // Domain returns the node's time domain.
 func (n *Node) Domain() *sim.Domain { return n.dom }
+
+// Ticks returns the clock coarse periodic protocol timers (hellos, RIP
+// updates, refresh sweeps) should schedule on. In sharded mode it is a
+// per-node tick wheel: many ticks share one heap event per 100 ms slot,
+// so timer housekeeping neither multiplies events nor pins the domain's
+// published execution promise to the next hello. In classic mode it is
+// the domain itself — the single-timeline schedule stays byte-identical
+// to the historical loop.
+func (n *Node) Ticks() sim.Clock {
+	if !n.net.shard {
+		return n.dom
+	}
+	if n.wheel == nil {
+		n.wheel = sim.NewTickWheel(n.dom, 100*time.Millisecond)
+	}
+	return n.wheel
+}
 
 // Profile returns the node's host cost model.
 func (n *Node) Profile() Profile { return n.prof }
@@ -284,7 +303,9 @@ func (n *Node) forwardOut(r fib.Route, p *packet.Packet) {
 	}
 	link := n.links[r.OutPort]
 	cost := n.prof.scaled(n.prof.KernelForwardCost)
-	n.dom.Schedule(cost, func() { link.transmit(n, p) })
+	// Typed same-domain event: no closure allocation on the per-hop
+	// forwarding path (the event itself recycles through the free list).
+	n.dom.Send(n.dom, cost, link.txFrom(n), p)
 }
 
 // deliverLocal hands a packet addressed to this node to its consumer.

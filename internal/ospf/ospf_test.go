@@ -3,6 +3,7 @@ package ospf
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -100,8 +101,16 @@ func (m *mesh) connect(a, b *meshNode, cost uint32, delay time.Duration) *bool {
 }
 
 func (m *mesh) startAll() {
-	for _, n := range m.routers {
-		n.r.Start()
+	// Start in sorted name order: map range order would vary run to
+	// run, permuting the shared-RNG draw sequence (loss decisions) and
+	// making loss-dependent tests flaky.
+	names := make([]string, 0, len(m.routers))
+	for name := range m.routers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m.routers[name].r.Start()
 	}
 }
 

@@ -47,6 +47,12 @@ type Config struct {
 	// Stubs are local prefixes advertised in the router LSA (the tap0
 	// host route, in IIAS).
 	Stubs []StubDesc
+	// Ticks, when set, is the clock for coarse periodic timers (hello,
+	// refresh, age sweep) — typically a sim.TickWheel that coalesces
+	// many routers' ticks into shared slot events. Deadline-sensitive
+	// timers (dead, retransmit, SPF delay) always use the main clock.
+	// Nil means periodic timers use the main clock too.
+	Ticks sim.Clock
 }
 
 func (c *Config) setDefaults() {
@@ -112,8 +118,11 @@ type NeighborInfo struct {
 
 // Router is one OSPF speaker.
 type Router struct {
-	cfg    Config
-	clock  sim.Clock
+	cfg   Config
+	clock sim.Clock
+	// ticks carries the periodic hello/refresh/age timers (cfg.Ticks,
+	// or clock when unset).
+	ticks  sim.Clock
 	tr     Transport
 	ifaces []*Interface
 	// neighbors keyed by interface index (point-to-point: one each).
@@ -140,9 +149,14 @@ type Router struct {
 // New creates a router; call AddInterface then Start.
 func New(clock sim.Clock, cfg Config, tr Transport) *Router {
 	cfg.setDefaults()
+	ticks := cfg.Ticks
+	if ticks == nil {
+		ticks = clock
+	}
 	return &Router{
 		cfg:       cfg,
 		clock:     clock,
+		ticks:     ticks,
 		tr:        tr,
 		neighbors: make(map[int]*neighbor),
 		lsdb:      make(map[uint32]LSA),
@@ -184,8 +198,8 @@ func (r *Router) Start() {
 	r.started = true
 	r.originate()
 	r.sendHellos()
-	r.clock.Schedule(r.cfg.Refresh, r.refresh)
-	r.clock.Schedule(r.cfg.MaxAge/4, r.ageSweep)
+	r.ticks.Schedule(r.cfg.Refresh, r.refresh)
+	r.ticks.Schedule(r.cfg.MaxAge/4, r.ageSweep)
 }
 
 // refresh periodically re-originates our LSA (LSRefreshTime) so it never
@@ -195,7 +209,7 @@ func (r *Router) refresh() {
 		return
 	}
 	r.originate()
-	r.clock.Schedule(r.cfg.Refresh, r.refresh)
+	r.ticks.Schedule(r.cfg.Refresh, r.refresh)
 }
 
 // ageSweep purges LSAs that have not been refreshed within MaxAge — the
@@ -219,7 +233,7 @@ func (r *Router) ageSweep() {
 	if changed {
 		r.scheduleSPF()
 	}
-	r.clock.Schedule(r.cfg.MaxAge/4, r.ageSweep)
+	r.ticks.Schedule(r.cfg.MaxAge/4, r.ageSweep)
 }
 
 // Stop cancels timers; the router stops speaking.
@@ -279,7 +293,7 @@ func (r *Router) sendHellos() {
 		})
 		r.tr.SendRouting(ifc.Index, pkt)
 	}
-	r.helloTimer = r.clock.Schedule(r.cfg.Hello, r.sendHellos)
+	r.helloTimer = r.ticks.Schedule(r.cfg.Hello, r.sendHellos)
 }
 
 // Receive processes an OSPF packet arriving on interface ifIndex from

@@ -47,6 +47,10 @@ type Config struct {
 	GC time.Duration
 	// Stubs are local prefixes advertised at metric 1.
 	Stubs []netip.Prefix
+	// Ticks, when set, carries the periodic update timer — typically a
+	// sim.TickWheel coalescing many routers' ticks into shared slot
+	// events. Nil means the main clock.
+	Ticks sim.Clock
 }
 
 func (c *Config) setDefaults() {
@@ -74,8 +78,10 @@ type entry struct {
 
 // Router is one RIP speaker.
 type Router struct {
-	cfg      Config
-	clock    sim.Clock
+	cfg   Config
+	clock sim.Clock
+	// ticks carries the periodic timer (cfg.Ticks, or clock when unset).
+	ticks    sim.Clock
 	tr       Transport
 	ifaces   []*Interface
 	table    map[netip.Prefix]*entry
@@ -93,7 +99,11 @@ type Router struct {
 // New creates a router; call AddInterface then Start.
 func New(clock sim.Clock, cfg Config, tr Transport) *Router {
 	cfg.setDefaults()
-	return &Router{cfg: cfg, clock: clock, tr: tr, table: make(map[netip.Prefix]*entry)}
+	ticks := cfg.Ticks
+	if ticks == nil {
+		ticks = clock
+	}
+	return &Router{cfg: cfg, clock: clock, ticks: ticks, tr: tr, table: make(map[netip.Prefix]*entry)}
 }
 
 // AddInterface registers an interface before Start.
@@ -144,7 +154,7 @@ func (r *Router) periodic() {
 	}
 	r.expire()
 	r.sendUpdates(false)
-	r.timer = r.clock.Schedule(r.cfg.Update, r.periodic)
+	r.timer = r.ticks.Schedule(r.cfg.Update, r.periodic)
 }
 
 func (r *Router) expire() {

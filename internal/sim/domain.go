@@ -40,9 +40,15 @@ type DomainStats struct {
 	// Fired, Cancelled, Recycled track the event lifecycle. Every
 	// allocated event is eventually recycled exactly once.
 	Fired, Cancelled, Recycled uint64
-	// Stalls counts rounds where this domain had work within the run
-	// window but its conservative horizon did not yet cover it.
+	// Stalls counts execution windows where this domain had work within
+	// the run window but its conservative horizon did not yet cover it.
+	// Scheduler-dependent (diagnostic only, not part of the parity
+	// contract).
 	Stalls uint64
+	// Trains counts flushed message trains; TrainMsgs counts the typed
+	// messages they carried. TrainMsgs/Trains is the batching factor the
+	// train layer achieves.
+	Trains, TrainMsgs uint64
 }
 
 // xmsg is a timestamped cross-domain message: "run fn in the receiving
@@ -81,22 +87,54 @@ type Domain struct {
 	digest uint64
 	stats  DomainStats
 
-	// horizon is the inclusive bound the current round may run to;
-	// written by the executor before dispatch, read by the worker.
-	horizon time.Duration
-
 	// lookIn is the minimum latency of any cross-domain edge into this
 	// domain (the conservative lookahead); maxTime when nothing sends
 	// here.
 	lookIn time.Duration
 
-	// inbox collects cross-domain messages between rounds. inboxMin
-	// caches the earliest timestamp so the executor's barrier checks
-	// don't scan. spare is the drained buffer kept for reuse.
+	// ins are the registered per-pair inbound edges (adaptive horizon);
+	// edged is set once any edge is registered, switching horizon math
+	// from the coarse all-pairs lookIn to the edge list. outs are the
+	// domains this one has registered edges into — the executor wakes
+	// them when this domain's published bound rises.
+	ins   []inEdge
+	outs  []*Domain
+	edged bool
+
+	// pub is the domain's published execution bound (nanoseconds): a
+	// monotone promise that no event with an earlier timestamp will ever
+	// run here within the current Run window. Receivers read it to widen
+	// their horizons (pub + edge delay bounds this domain's influence).
+	// Written by the owning worker after each window (flush-then-publish
+	// order), reset by the coordinator at Run entry.
+	pub atomic.Int64
+
+	// state is the scheduler state machine (stateIdle/Queued/Running/
+	// RunningDirty) that keeps a domain on at most one work queue.
+	state atomic.Int32
+
+	// trains accumulate outbound typed messages per destination domain;
+	// dirtyTrains lists those with pending messages; flushed is the
+	// wake-up scratch list the last flushTrains call populated. sentTo
+	// collects destinations of closure-based SendTo calls made during
+	// the current window so the executor can wake them too.
+	trains      []*train
+	dirtyTrains []*train
+	flushed     []*Domain
+	sentTo      []*Domain
+
+	// inbox collects closure-based cross-domain messages (SendTo) and
+	// tin the typed train messages (Send) between windows. inboxMin
+	// caches the earliest timestamp across both so horizon checks don't
+	// scan; it is atomic because next() reads it from the owning worker
+	// while senders update it under inMu. spare/tspare are drained
+	// buffers kept for reuse.
 	inMu     sync.Mutex
 	inbox    []xmsg
-	inboxMin time.Duration
+	tin      []tmsg
+	inboxMin atomic.Int64
 	spare    []xmsg
+	tspare   []tmsg
 }
 
 // ID returns the domain's executor-assigned id (0 is the control
@@ -188,27 +226,40 @@ func (d *Domain) SendTo(dst *Domain, delay time.Duration, fn func()) Timer {
 	m := xmsg{at: d.now + delay, dom: d.id, seq: d.seq, fn: fn, cancel: cancel}
 	dst.inMu.Lock()
 	dst.inbox = append(dst.inbox, m)
-	if m.at < dst.inboxMin {
-		dst.inboxMin = m.at
+	if int64(m.at) < dst.inboxMin.Load() {
+		dst.inboxMin.Store(int64(m.at))
 	}
 	dst.inMu.Unlock()
+	noted := false
+	for _, s := range d.sentTo {
+		if s == dst {
+			noted = true
+			break
+		}
+	}
+	if !noted {
+		d.sentTo = append(d.sentTo, dst)
+	}
 	return Timer{cancel: cancel}
 }
 
-// drainInbox materializes queued cross-domain messages into the heap.
-// Only the executor calls it, at a barrier (no workers running). Heap
-// keys are globally unique and totally ordered, so the append order of
-// the inbox — the one thing thread interleaving can vary — is
-// semantically invisible.
+// drainInbox materializes queued cross-domain messages (closure-based
+// and typed) into the heap. Called by the owning worker at the start of
+// each execution window, or by the coordinator at a barrier. Heap keys
+// are globally unique and totally ordered, so the append order of the
+// inbox — the one thing thread interleaving can vary — is semantically
+// invisible.
 func (d *Domain) drainInbox() {
 	d.inMu.Lock()
-	if len(d.inbox) == 0 {
+	if len(d.inbox) == 0 && len(d.tin) == 0 {
 		d.inMu.Unlock()
 		return
 	}
 	msgs := d.inbox
+	tmsgs := d.tin
 	d.inbox = d.spare[:0]
-	d.inboxMin = maxTime
+	d.tin = d.tspare[:0]
+	d.inboxMin.Store(int64(maxTime))
 	d.inMu.Unlock()
 	for i := range msgs {
 		m := &msgs[i]
@@ -226,6 +277,16 @@ func (d *Domain) drainInbox() {
 		m.fn, m.cancel = nil, nil
 	}
 	d.spare = msgs[:0]
+	for i := range tmsgs {
+		m := &tmsgs[i]
+		ev := d.alloc()
+		ev.at, ev.dom, ev.seq = m.at, m.dom, m.seq
+		ev.h, ev.arg = m.h, m.arg
+		d.push(ev)
+		d.stats.Delivered++
+		m.h, m.arg = nil, nil
+	}
+	d.tspare = tmsgs[:0]
 }
 
 // next returns the earliest timestamp of any pending work (heap or
@@ -235,8 +296,8 @@ func (d *Domain) next() time.Duration {
 	if len(d.heap) > 0 {
 		n = d.heap[0].at
 	}
-	if d.inboxMin < n {
-		n = d.inboxMin
+	if m := time.Duration(d.inboxMin.Load()); m < n {
+		n = m
 	}
 	return n
 }
@@ -253,6 +314,7 @@ func (d *Domain) step() bool {
 		d.now = ev.at
 	}
 	fn := ev.fn
+	th, targ := ev.h, ev.arg
 	cancelled := ev.cancel != nil && !ev.cancel.CompareAndSwap(timerPending, timerFired)
 	if !cancelled {
 		// Fold the fired event's merge key before the struct recycles.
@@ -270,23 +332,33 @@ func (d *Domain) step() bool {
 		return true
 	}
 	d.stats.Fired++
-	fn()
+	if th != nil {
+		th.Invoke(targ)
+	} else {
+		fn()
+	}
 	return true
 }
 
-// runToHorizon is the worker-side round body: run every event at or
-// before the executor-assigned horizon. Nothing outside this domain is
-// touched except via SendTo, so domains in one round race on nothing.
-func (d *Domain) runToHorizon() {
-	h := d.horizon
+// runTo is the worker-side window body: run every event at or before
+// the inclusive horizon h. Nothing outside this domain is touched
+// except via Send/SendTo (train buffers and inboxes), so domains in one
+// window race on nothing.
+func (d *Domain) runTo(h time.Duration) bool {
+	ran := false
 	stop := &d.exec.stopped
 	for len(d.heap) > 0 && d.heap[0].at <= h {
 		if stop.Load() {
-			return
+			return ran
 		}
 		d.step()
+		ran = true
 	}
+	return ran
 }
+
+// pubTime reads the domain's published execution bound.
+func (d *Domain) pubTime() time.Duration { return time.Duration(d.pub.Load()) }
 
 // alloc takes an event struct from the free list, or makes one.
 func (d *Domain) alloc() *event {
@@ -303,6 +375,7 @@ func (d *Domain) alloc() *event {
 func (d *Domain) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	ev.h, ev.arg = nil, nil
 	ev.cancel = nil
 	ev.next = d.free
 	d.free = ev

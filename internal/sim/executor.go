@@ -1,46 +1,117 @@
 package sim
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Executor coordinates a set of Domains under classic conservative
-// (lookahead-based) parallel discrete-event synchronization. Execution
-// proceeds in rounds:
+// Domain scheduler states (Domain.state). The state machine keeps each
+// domain on at most one work queue and lets message arrivals mark a
+// running domain dirty instead of double-queueing it:
 //
-//  1. Barrier: every domain's inbox is drained into its heap.
-//  2. Control phase: control-domain (id 0) events run one at a time,
-//     globally serialized, while they precede every node domain's next
-//     event — so topology changes, route recomputation, and driver
-//     callbacks observe a world where no node has advanced past them.
-//  3. Node phase: each node domain d with pending work is dispatched to
-//     a worker with an inclusive horizon
+//	idle -> queued        (enqueue: domain has potential work)
+//	queued -> running     (a worker picked it up)
+//	running -> dirty      (new input arrived mid-window; rerun)
+//	dirty -> running      (the owning worker loops again)
+//	running -> idle       (window fixpoint reached)
+const (
+	stateIdle int32 = iota
+	stateQueued
+	stateRunning
+	stateDirty
+)
+
+// deque is one worker's run queue. The owner pushes and pops at the
+// bottom (LIFO, cache-warm); idle workers steal from the top (FIFO, the
+// oldest — least cache-relevant — entry). Queues hold at most one entry
+// per domain, so a plain mutex is cheaper than a lock-free deque at
+// these lengths.
+type deque struct {
+	mu    sync.Mutex
+	items []*Domain
+}
+
+func (q *deque) push(d *Domain) {
+	q.mu.Lock()
+	q.items = append(q.items, d)
+	q.mu.Unlock()
+}
+
+func (q *deque) popBottom() *Domain {
+	q.mu.Lock()
+	n := len(q.items)
+	if n == 0 {
+		q.mu.Unlock()
+		return nil
+	}
+	d := q.items[n-1]
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	q.mu.Unlock()
+	return d
+}
+
+func (q *deque) stealTop() *Domain {
+	q.mu.Lock()
+	n := len(q.items)
+	if n == 0 {
+		q.mu.Unlock()
+		return nil
+	}
+	d := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	q.mu.Unlock()
+	return d
+}
+
+// Executor coordinates a set of Domains under conservative
+// (lookahead-based) parallel discrete-event synchronization. Unlike the
+// original design — a global barrier every time the narrowest horizon
+// was exhausted, ~one barrier per minimum link delay of virtual time —
+// domains now run free of each other between control barriers:
 //
-//     W(d) = min(until, ctrlNext-1, min_{e != d} eff(e) + lookahead(d) - 1)
+//   - Every domain publishes a monotone execution bound pub(d): a
+//     promise that no event with an earlier timestamp will ever run in
+//     d within the current window. After each execution window,
+//     pub(d) = max(pub(d), min(next(d), H(d)+1)).
 //
-//     where lookahead(d) is the minimum latency of any cross-domain
-//     link into d, and eff(e) is the earliest time domain e can act:
-//     its own next event, or — because an idle domain can be awakened
-//     by a message and then transmit — the earliest message any other
-//     domain could send it, min_{f != e} next(f) + lookahead(e). Any
-//     message that can still reach d arrives at or after
-//     min-other-eff + lookahead(d) > W(d), strictly in d's future, so
-//     running d up to W(d) can never receive a message from its past —
-//     the conservative-PDES safety condition. (eff uses one level of
-//     wake-up indirection; longer idle chains only make the true
-//     earliest influence later, so the bound stays conservative.)
+//   - A domain's inclusive horizon is derived from its in-neighbors'
+//     promises: H(d) = min over registered edges e=(s->d) of
+//     pub(s) + delay(e) - 1, capped by the run window and by the next
+//     control event (coarse mode, when no edges are registered, uses
+//     every other domain at the single minimum inbound delay). Any
+//     message that can still arrive does so at or after pub(s)+delay,
+//     strictly beyond H(d), so running d to H(d) never receives a
+//     message from its past — the conservative-PDES safety condition.
 //
-// Determinism does not depend on thread scheduling: every event carries
-// a globally unique merge key (timestamp, origin domain id, origin
-// sequence), heaps pop in that total order, and cross-domain messages
-// carry their key with them. Runs with 1 worker and N workers execute
-// the identical event sequence per domain and produce byte-identical
-// schedule digests.
+//   - Workers drain a domain's inbox, run it to its horizon, flush its
+//     outbound message trains, publish its new bound, and wake the
+//     domains that received messages or whose horizon the new bound
+//     widens. Wakes cascade through per-worker work-stealing queues
+//     until the promises reach their fixpoint and the system goes
+//     quiescent — the counting "epoch barrier": an atomic counter of
+//     live domains whose zero-crossing wakes the coordinator.
 //
-// If some domain's lookahead is zero (a cross-domain link with zero
-// delay), horizons cannot advance; the executor then falls back to
-// running the single globally minimal event sequentially. That is the
+//   - At quiescence the coordinator (the only context that touches the
+//     control domain) runs due control events at a true barrier,
+//     re-seeds the domains, and begins the next epoch. Rounds() counts
+//     these epochs: control barriers plus fallback steps, not
+//     per-lookahead round trips.
+//
+// Determinism does not depend on thread scheduling: per-domain event
+// order is fixed by the merge key (timestamp, origin domain id, origin
+// sequence), and the set of events run between barriers is the least
+// fixpoint of the monotone promise equations, which chaotic iteration
+// reaches regardless of wake order. Runs with 1 worker and N workers
+// execute the identical event sequence per domain and produce
+// byte-identical schedule digests.
+//
+// If some lookahead is zero (a zero-delay cross-domain cycle), promises
+// stop rising and the system quiesces without progress; the coordinator
+// then runs the single globally minimal event sequentially. That is the
 // exact total order a single shared heap would have used, so the result
 // is still deterministic — it just doesn't scale.
 type Executor struct {
@@ -49,15 +120,37 @@ type Executor struct {
 	workers int
 	stopped atomic.Bool
 
-	workCh  chan *Domain
-	doneCh  chan *Domain
-	started bool
-	closed  bool
+	started  bool
+	closed   bool
+	nworkers int
+	deques   []*deque
+	quit     atomic.Bool
+
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	idle     int
+
+	// live counts domains in queued/running/dirty states plus the
+	// coordinator's seeding hold; its zero-crossing signals quiescence.
+	live    atomic.Int64
+	quietCh chan struct{}
+
+	// untilA/ctrlGate publish the current run window and the next
+	// control-event time to the workers (read in horizon math).
+	untilA   atomic.Int64
+	ctrlGate atomic.Int64
 
 	rounds    uint64
 	fallbacks uint64
-	scratch   []time.Duration
-	eff       []time.Duration
+
+	// Diagnostic counters (scheduler-dependent, outside the parity
+	// contract).
+	windows atomic.Uint64
+	steals  atomic.Uint64
+	parks   atomic.Uint64
+	parkNS  atomic.Uint64
+
+	rr int // round-robin cursor for coordinator seeding
 }
 
 // NewExecutor returns an executor with the given worker budget and its
@@ -70,7 +163,8 @@ func NewExecutor(seed int64, workers int) *Executor {
 	}
 	x := &Executor{workers: workers}
 	ctrl := &Domain{id: 0, label: "control", exec: x, rng: NewRNG(seed),
-		lookIn: maxTime, inboxMin: maxTime}
+		lookIn: maxTime}
+	ctrl.inboxMin.Store(int64(maxTime))
 	x.domains = []*Domain{ctrl}
 	x.loop = &Loop{Domain: ctrl, exec: x}
 	return x
@@ -90,7 +184,8 @@ func (x *Executor) NewDomain(label string) *Domain {
 	ctrl := x.domains[0]
 	d := &Domain{id: int32(len(x.domains)), label: label, exec: x,
 		rng: ctrl.rng.Fork(), now: ctrl.now,
-		lookIn: maxTime, inboxMin: maxTime}
+		lookIn: maxTime}
+	d.inboxMin.Store(int64(maxTime))
 	x.domains = append(x.domains, d)
 	return d
 }
@@ -108,12 +203,50 @@ func (x *Executor) Stats() []DomainStats {
 	return out
 }
 
-// Rounds returns how many parallel node-phase rounds have run.
+// Rounds returns how many coordinator epochs have run: control barriers
+// and fallback steps, each separated by a full parallel quiescence
+// phase. (Under the pre-train engine this counted per-lookahead barrier
+// rounds; epochs are the comparable unit now.)
 func (x *Executor) Rounds() uint64 { return x.rounds }
 
 // Fallbacks returns how many events ran through the sequential
 // zero-lookahead fallback.
 func (x *Executor) Fallbacks() uint64 { return x.fallbacks }
+
+// Windows returns how many per-domain execution windows workers ran
+// (drain/run/flush/publish cycles). Scheduler-dependent; diagnostic.
+func (x *Executor) Windows() uint64 { return x.windows.Load() }
+
+// Steals returns how many domains idle workers stole from another
+// worker's queue. Scheduler-dependent; diagnostic.
+func (x *Executor) Steals() uint64 { return x.steals.Load() }
+
+// Parks returns how many times workers parked for lack of work, and
+// ParkTime the wall-clock total spent parked. Scheduler-dependent.
+func (x *Executor) Parks() uint64 { return x.parks.Load() }
+
+// ParkTime returns the cumulative wall time workers spent parked.
+func (x *Executor) ParkTime() time.Duration { return time.Duration(x.parkNS.Load()) }
+
+// TrainStats sums flushed train counts and the typed messages they
+// carried across domains.
+func (x *Executor) TrainStats() (trains, msgs uint64) {
+	for _, d := range x.domains {
+		trains += d.stats.Trains
+		msgs += d.stats.TrainMsgs
+	}
+	return trains, msgs
+}
+
+// Deliveries sums cross-domain messages materialized into domain heaps
+// (both the typed train path and closure SendTo).
+func (x *Executor) Deliveries() uint64 {
+	var n uint64
+	for _, d := range x.domains {
+		n += d.stats.Delivered
+	}
+	return n
+}
 
 // TotalFired sums fired events across domains.
 func (x *Executor) TotalFired() uint64 {
@@ -141,13 +274,14 @@ func (x *Executor) ScheduleDigest() uint64 {
 func (x *Executor) Stop() { x.stopped.Store(true) }
 
 // Pending reports scheduled events across all domains, including
-// not-yet-delivered cross-domain messages.
+// not-yet-delivered cross-domain messages and unflushed trains.
 func (x *Executor) Pending() int {
 	n := 0
 	for _, d := range x.domains {
 		n += len(d.heap)
+		n += d.trainBacklog()
 		d.inMu.Lock()
-		n += len(d.inbox)
+		n += len(d.inbox) + len(d.tin)
 		d.inMu.Unlock()
 	}
 	return n
@@ -159,7 +293,10 @@ func (x *Executor) Pending() int {
 func (x *Executor) Shutdown() {
 	if x.started && !x.closed {
 		x.closed = true
-		close(x.workCh)
+		x.quit.Store(true)
+		x.parkMu.Lock()
+		x.parkCond.Broadcast()
+		x.parkMu.Unlock()
 	}
 }
 
@@ -207,6 +344,7 @@ func (x *Executor) step() bool {
 	if len(x.domains) == 1 {
 		return x.domains[0].step()
 	}
+	x.flushAllTrains()
 	x.deliverAll()
 	return x.stepGlobalMin()
 }
@@ -223,18 +361,27 @@ func (x *Executor) ensureWorkers() {
 	if n < 1 {
 		n = 1
 	}
-	x.workCh = make(chan *Domain)
-	// doneCh is buffered for every domain so workers never block
-	// posting completions while the dispatcher is still handing out
-	// work — the classic dispatch/complete deadlock.
-	x.doneCh = make(chan *Domain, len(x.domains))
+	x.nworkers = n
+	x.deques = make([]*deque, n)
+	for i := range x.deques {
+		x.deques[i] = &deque{}
+	}
+	x.parkCond = sync.NewCond(&x.parkMu)
+	x.quietCh = make(chan struct{}, 1)
 	for i := 0; i < n; i++ {
-		go func() {
-			for d := range x.workCh {
-				d.runToHorizon()
-				x.doneCh <- d
-			}
-		}()
+		go x.worker(i)
+	}
+}
+
+// flushAllTrains flushes every domain's outbound trains into the
+// destination inboxes and clears the wake scratch lists. Barrier
+// context only (driver sends between runs, control events, fallback
+// steps).
+func (x *Executor) flushAllTrains() {
+	for _, d := range x.domains {
+		d.flushTrains()
+		d.flushed = d.flushed[:0]
+		d.sentTo = d.sentTo[:0]
 	}
 }
 
@@ -294,23 +441,251 @@ func satAdd(a, b time.Duration) time.Duration {
 	return s
 }
 
-// run is the multi-domain round loop described on Executor.
+// progress is the coordinator's epoch progress metric: total events
+// consumed (fired or lazily discarded). Barrier context only.
+func (x *Executor) progress() uint64 {
+	var n uint64
+	for _, d := range x.domains {
+		n += d.stats.Fired + d.stats.Cancelled
+	}
+	return n
+}
+
+// enqueue marks d runnable and queues it if it was idle. wid is the
+// calling worker's queue (its own deque, keeping wake chains
+// cache-local), or -1 for coordinator round-robin seeding. The control
+// domain is never enqueued: only the coordinator runs it, at barriers.
+func (x *Executor) enqueue(d *Domain, wid int) {
+	if d.id == 0 {
+		return
+	}
+	for {
+		switch s := d.state.Load(); s {
+		case stateIdle:
+			if d.state.CompareAndSwap(stateIdle, stateQueued) {
+				x.live.Add(1)
+				x.pushWork(d, wid)
+				return
+			}
+		case stateQueued, stateDirty:
+			return
+		case stateRunning:
+			if d.state.CompareAndSwap(stateRunning, stateDirty) {
+				return
+			}
+		}
+	}
+}
+
+func (x *Executor) pushWork(d *Domain, wid int) {
+	if wid < 0 {
+		wid = x.rr
+		x.rr++
+		if x.rr >= x.nworkers {
+			x.rr = 0
+		}
+	}
+	x.deques[wid].push(d)
+	x.parkMu.Lock()
+	if x.idle > 0 {
+		x.parkCond.Signal()
+	}
+	x.parkMu.Unlock()
+}
+
+// released drops one unit of the live count; the zero-crossing signals
+// the coordinator that the epoch went quiescent.
+func (x *Executor) released() {
+	if x.live.Add(-1) == 0 {
+		select {
+		case x.quietCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// anyQueued reports whether any deque holds work (park double-check).
+func (x *Executor) anyQueued() bool {
+	for _, q := range x.deques {
+		q.mu.Lock()
+		n := len(q.items)
+		q.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (x *Executor) worker(id int) {
+	my := x.deques[id]
+	spins := 0
+	for {
+		if d := my.popBottom(); d != nil {
+			spins = 0
+			x.runDomain(id, d)
+			continue
+		}
+		stolen := false
+		for i := 1; i < x.nworkers; i++ {
+			if d := x.deques[(id+i)%x.nworkers].stealTop(); d != nil {
+				x.steals.Add(1)
+				stolen = true
+				spins = 0
+				x.runDomain(id, d)
+				break
+			}
+		}
+		if stolen {
+			continue
+		}
+		if x.quit.Load() {
+			return
+		}
+		if spins++; spins < 8 {
+			continue
+		}
+		// Park: recheck under the lock so a push+signal racing this
+		// decision cannot be lost, then wait.
+		x.parkMu.Lock()
+		if x.anyQueued() || x.quit.Load() {
+			x.parkMu.Unlock()
+			spins = 0
+			continue
+		}
+		x.idle++
+		x.parks.Add(1)
+		t0 := time.Now()
+		x.parkCond.Wait()
+		x.idle--
+		x.parkNS.Add(uint64(time.Since(t0)))
+		x.parkMu.Unlock()
+		spins = 0
+	}
+}
+
+// horizonOf computes d's inclusive safe horizon from its in-neighbors'
+// published bounds: with registered edges, per-pair (pub(src)+delay);
+// otherwise every other node domain at the coarse minimum inbound
+// delay. Both are capped by the run window and the next control event.
+func (x *Executor) horizonOf(d *Domain, until time.Duration) time.Duration {
+	h := until
+	if cg := time.Duration(x.ctrlGate.Load()); cg != maxTime && cg-1 < h {
+		h = cg - 1
+	}
+	if d.edged {
+		for _, e := range d.ins {
+			if b := satAdd(e.src.pubTime(), e.delay) - 1; b < h {
+				h = b
+			}
+		}
+	} else if d.lookIn < maxTime {
+		for _, s := range x.domains[1:] {
+			if s == d {
+				continue
+			}
+			if b := satAdd(s.pubTime(), d.lookIn) - 1; b < h {
+				h = b
+			}
+		}
+	}
+	return h
+}
+
+// runDomain is the worker-side execution window loop for one claimed
+// domain: snapshot the safe horizon, drain the inbox, run the window,
+// flush trains,
+// publish the new bound, wake dependents, and loop while new input
+// keeps arriving (dirty state). Exits through running->idle, releasing
+// the domain's live count.
+func (x *Executor) runDomain(wid int, d *Domain) {
+	if !d.state.CompareAndSwap(stateQueued, stateRunning) {
+		d.state.Store(stateRunning)
+	}
+	until := time.Duration(x.untilA.Load())
+	for {
+		x.windows.Add(1)
+		// Snapshot the horizon BEFORE draining the inbox. A neighbor can
+		// flush a message and raise its published bound at any point; if
+		// we drained first, a message landing in the gap could carry a
+		// timestamp inside a horizon computed from the *raised* bound,
+		// and this window would run past it (late fire, order violation).
+		// Read pubs first and every message flushed afterwards arrives
+		// strictly beyond h (pub is monotone, arrivals are >= pub+delay);
+		// the sender's post-flush enqueue marks us dirty so the loop
+		// comes back for it.
+		h := x.horizonOf(d, until)
+		d.drainInbox()
+		if len(d.heap) > 0 && d.heap[0].at <= h {
+			d.runTo(h)
+		} else if n := d.next(); n <= until && n > h {
+			d.stats.Stalls++
+		}
+		d.flushTrains()
+		// Publish after flushing, so a receiver that observes the new
+		// bound also observes every message it promises about.
+		np := d.next()
+		if hp := satAdd(h, 1); hp < np {
+			np = hp
+		}
+		raised := false
+		if cur := d.pub.Load(); int64(np) > cur {
+			d.pub.Store(int64(np))
+			raised = true
+		}
+		// Wake message receivers first (they have concrete work), then
+		// — if the bound rose — the domains whose horizons it widens.
+		for _, dst := range d.flushed {
+			x.enqueue(dst, wid)
+		}
+		d.flushed = d.flushed[:0]
+		for _, dst := range d.sentTo {
+			x.enqueue(dst, wid)
+		}
+		d.sentTo = d.sentTo[:0]
+		if raised {
+			if len(d.outs) > 0 {
+				for _, o := range d.outs {
+					x.enqueue(o, wid)
+				}
+			} else if !d.edged {
+				for _, o := range x.domains[1:] {
+					if o != d {
+						x.enqueue(o, wid)
+					}
+				}
+			}
+		}
+		if d.state.CompareAndSwap(stateRunning, stateIdle) {
+			x.released()
+			return
+		}
+		// Marked dirty while running: new input arrived; go again.
+		d.state.Store(stateRunning)
+	}
+}
+
+// run is the multi-domain coordinator loop described on Executor.
 func (x *Executor) run(until time.Duration, advance bool) {
 	x.ensureWorkers()
 	ctrl := x.domains[0]
-	if len(x.scratch) < len(x.domains)-1 {
-		x.scratch = make([]time.Duration, len(x.domains)-1)
-		x.eff = make([]time.Duration, len(x.domains)-1)
+	x.untilA.Store(int64(until))
+	// Promises from a previous window may exceed events the driver has
+	// scheduled since; restart them from the clocks (no workers are
+	// active here, and lower bounds are always safe).
+	for _, d := range x.domains {
+		d.pub.Store(int64(d.now))
 	}
 	for {
 		if x.stopped.Load() {
 			return
 		}
+		x.flushAllTrains()
 		x.deliverAll()
 
-		// Control phase. At equal timestamps the merge order (at, dom,
-		// seq) puts control (domain 0) first, so the limit comparison
-		// below is inclusive.
+		// Control phase, at a true barrier. At equal timestamps the
+		// merge order (at, dom, seq) puts control (domain 0) first, so
+		// the limit comparison below is inclusive.
 		ranCtrl := false
 		for len(ctrl.heap) > 0 {
 			if x.stopped.Load() {
@@ -326,32 +701,22 @@ func (x *Executor) run(until time.Duration, advance bool) {
 			}
 			x.advanceAll(cn)
 			ctrl.step()
+			x.flushAllTrains()
 			ranCtrl = true
 		}
 		if ranCtrl {
 			// Control work may have scheduled node events or sent
-			// messages; restart the round from the delivery barrier.
+			// messages; restart from the delivery barrier.
 			continue
 		}
 
-		// Node phase: per-domain next-event times and the two smallest
-		// (so the minimum "next of any other domain" is O(1) each).
 		ctrlNext := maxTime
 		if len(ctrl.heap) > 0 {
 			ctrlNext = ctrl.heap[0].at
 		}
-		min1, min2 := maxTime, maxTime
-		minIdx := -1
-		for i, d := range x.domains[1:] {
-			nt := d.next()
-			x.scratch[i] = nt
-			if nt < min1 {
-				min2, min1, minIdx = min1, nt, i
-			} else if nt < min2 {
-				min2 = nt
-			}
-		}
-		if min1 > until {
+		x.ctrlGate.Store(int64(ctrlNext))
+
+		if x.nodeNext() > until {
 			// The control loop already ran everything at or before
 			// min(until, nodeNext), so nothing within the window
 			// remains anywhere.
@@ -361,66 +726,42 @@ func (x *Executor) run(until time.Duration, advance bool) {
 			return
 		}
 
-		// Earliest-possible-action time per domain: its next event, or
-		// the earliest wake-up message another domain could send it.
-		emin1, emin2 := maxTime, maxTime
-		emIdx := -1
-		for i, d := range x.domains[1:] {
-			other := min1
-			if i == minIdx {
-				other = min2
-			}
-			eff := x.scratch[i]
-			if wake := satAdd(other, d.lookIn); wake < eff {
-				eff = wake
-			}
-			x.eff[i] = eff
-			if eff < emin1 {
-				emin2, emin1, emIdx = emin1, eff, i
-			} else if eff < emin2 {
-				emin2 = eff
+		// Epoch: seed every node domain (idle ones still relay promise
+		// updates), hold the live latch until seeding completes so a
+		// fast cascade cannot signal quiescence mid-seed, then wait for
+		// the zero-crossing.
+		before := x.progress()
+		select {
+		case <-x.quietCh:
+		default:
+		}
+		// Sync promises up from the clocks BEFORE the first enqueue: the
+		// moment one domain is queued, worker cascades are live and
+		// now/pub belong to the workers. Interleaving the sync with the
+		// enqueues raced — and the check-then-store could overwrite a
+		// concurrently raised bound with a stale lower one.
+		for _, d := range x.domains[1:] {
+			if p := int64(d.now); p > d.pub.Load() {
+				d.pub.Store(p)
 			}
 		}
+		x.live.Add(1)
+		for _, d := range x.domains[1:] {
+			x.enqueue(d, -1)
+		}
+		x.released()
+		<-x.quietCh
+		x.rounds++
 
-		dispatched := 0
-		for i, d := range x.domains[1:] {
-			nt := x.scratch[i]
-			if nt == maxTime {
-				continue
-			}
-			other := emin1
-			if i == emIdx {
-				other = emin2
-			}
-			h := satAdd(other, d.lookIn) - 1
-			if ctrlNext-1 < h {
-				h = ctrlNext - 1
-			}
-			if until < h {
-				h = until
-			}
-			if nt > h {
-				if nt <= until {
-					d.stats.Stalls++
-				}
-				continue
-			}
-			d.horizon = h
-			dispatched++
-			x.workCh <- d
-		}
-		if dispatched == 0 {
-			// Zero lookahead somewhere: run exactly one globally
-			// minimal event sequentially. Identical total order to a
-			// shared heap, so determinism holds; only parallelism is
-			// lost.
+		if x.progress() == before && !x.stopped.Load() {
+			// Quiescent with no progress: a zero-lookahead cycle (or a
+			// promise fixpoint below every pending event). Run exactly
+			// one globally minimal event sequentially — identical total
+			// order to a shared heap, so determinism holds; only
+			// parallelism is lost.
 			x.fallbacks++
 			x.stepGlobalMin()
-			continue
+			x.flushAllTrains()
 		}
-		for i := 0; i < dispatched; i++ {
-			<-x.doneCh
-		}
-		x.rounds++
 	}
 }

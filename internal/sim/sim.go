@@ -50,8 +50,13 @@ type Clock interface {
 type Timer struct {
 	ev  *event
 	gen uint32
-	// cancel backs cross-domain timers (lazy cancellation).
+	// cancel backs cross-domain and tick-wheel timers (lazy
+	// cancellation).
 	cancel *atomic.Uint32
+	// wentry additionally backs TickWheel timers: Stop routes through
+	// the wheel so a slot whose last entry is cancelled releases its
+	// underlying heap event.
+	wentry *wheelEntry
 	// real backs RealClock timers.
 	real *time.Timer
 }
@@ -67,6 +72,9 @@ type Timer struct {
 func (t Timer) Stop() bool {
 	if t.real != nil {
 		return t.real.Stop()
+	}
+	if t.wentry != nil {
+		return t.wentry.stop()
 	}
 	if t.cancel != nil {
 		return t.cancel.CompareAndSwap(timerPending, timerStopped)
@@ -103,6 +111,10 @@ type event struct {
 	dom int32  // origin domain id (merge-key component)
 	seq uint64 // origin sequence; ties break in schedule order
 	fn  func()
+	// h/arg back typed events (Send): no closure is allocated, the
+	// long-lived Handler and its payload ride in the struct directly.
+	h   Handler
+	arg any
 	idx int    // position in the heap
 	gen uint32 // incremented on recycle; stale Timers compare unequal
 	// cancel is non-nil for cross-domain events (lazy cancellation).

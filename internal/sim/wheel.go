@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TickWheel is a Clock that quantizes deadlines to a fixed slot width so
+// many coarse periodic timers share one underlying heap event per slot.
+// Protocol ticks (OSPF hellos, RIP periodic updates, LSA refresh sweeps)
+// do not need microsecond placement — they need "about every 5 seconds"
+// — but each one scheduled directly on a Domain is a separate heap
+// event, and in a sharded run every such event bounds the domain's
+// published execution promise, forcing neighbors to wait on timer
+// housekeeping. Rounding ticks up to the next slot boundary lets one
+// heap event fire a whole batch, and stretches the gap between
+// consecutive events, which widens the horizon every neighbor can run
+// to.
+//
+// Deadlines only ever round up (never early), so interval invariants
+// like Dead >= 2*Hello survive quantization. Entries within a slot fire
+// in Schedule order, and slots are ordinary domain events, so runs stay
+// deterministic. Like any Clock, a wheel is owned by its domain's
+// timeline and must not be shared across domains.
+type TickWheel struct {
+	clock   Clock
+	quantum time.Duration
+	slots   map[int64]*wheelSlot
+	// spare recycles slot containers (entries are not pooled: a Timer
+	// handle holds a pointer to its entry, and reusing the entry would
+	// let a stale Stop cancel an unrelated tick).
+	spare *wheelSlot
+	// scheduled and fired count entries and slot events, for the
+	// coalescing ratio in executor profiles.
+	scheduled, fired uint64
+}
+
+type wheelEntry struct {
+	fn     func()
+	cancel atomic.Uint32
+	slot   *wheelSlot
+}
+
+type wheelSlot struct {
+	entries []*wheelEntry
+	wheel   *TickWheel
+	idx     int64
+	// live counts unstopped entries; when the last one is stopped the
+	// slot's heap event is cancelled too, so a torn-down subsystem
+	// leaves nothing behind in the domain heap (the lifecycle audits
+	// assert exactly that). Mutated only from the owning domain or at a
+	// barrier — the same contract as Schedule itself.
+	live  int
+	timer Timer
+}
+
+// stop cancels one entry (Timer.Stop delegates here). It reports
+// whether the entry was still pending.
+func (e *wheelEntry) stop() bool {
+	if !e.cancel.CompareAndSwap(timerPending, timerStopped) {
+		return false
+	}
+	s := e.slot
+	if s != nil && s.wheel != nil {
+		s.live--
+		if s.live == 0 {
+			s.timer.Stop()
+			delete(s.wheel.slots, s.idx)
+			s.wheel = nil
+		}
+	}
+	return true
+}
+
+// NewTickWheel wraps clock with slot width quantum (<= 0 defaults to
+// 100 ms, fine-grained enough that a 5 s hello jitters by at most 2%).
+func NewTickWheel(clock Clock, quantum time.Duration) *TickWheel {
+	if quantum <= 0 {
+		quantum = 100 * time.Millisecond
+	}
+	return &TickWheel{clock: clock, quantum: quantum, slots: make(map[int64]*wheelSlot)}
+}
+
+// Now implements Clock.
+func (w *TickWheel) Now() time.Duration { return w.clock.Now() }
+
+// Quantum returns the slot width.
+func (w *TickWheel) Quantum() time.Duration { return w.quantum }
+
+// Stats returns (entries scheduled, slot events fired); their ratio is
+// the coalescing factor.
+func (w *TickWheel) Stats() (scheduled, fired uint64) { return w.scheduled, w.fired }
+
+// Schedule implements Clock: fn runs at Now()+d rounded up to the next
+// slot boundary. The returned Timer cancels through a shared flag (the
+// slot event is not removed — it may carry other entries — the entry is
+// skipped at fire time).
+func (w *TickWheel) Schedule(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	now := w.clock.Now()
+	at := now + d
+	idx := int64((at + w.quantum - 1) / w.quantum)
+	s, ok := w.slots[idx]
+	if !ok {
+		if w.spare != nil {
+			s, w.spare = w.spare, nil
+		} else {
+			s = &wheelSlot{}
+		}
+		s.wheel, s.idx, s.live = w, idx, 0
+		w.slots[idx] = s
+		s.timer = w.clock.Schedule(time.Duration(idx)*w.quantum-now, func() { w.fire(idx) })
+	}
+	e := &wheelEntry{fn: fn, slot: s}
+	s.entries = append(s.entries, e)
+	s.live++
+	w.scheduled++
+	return Timer{cancel: &e.cancel, wentry: e}
+}
+
+// fire runs every live entry of one slot in Schedule order. The slot is
+// detached first so callbacks that re-arm (periodic ticks) land in a
+// fresh future slot rather than the one being drained.
+func (w *TickWheel) fire(idx int64) {
+	s := w.slots[idx]
+	delete(w.slots, idx)
+	s.wheel = nil
+	w.fired++
+	for i, e := range s.entries {
+		s.entries[i] = nil
+		if e.cancel.CompareAndSwap(timerPending, timerFired) {
+			e.fn()
+		}
+	}
+	s.entries = s.entries[:0]
+	w.spare = s
+}
+
+// Pending returns the number of live (unfired, unstopped) entries, for
+// lifecycle audits.
+func (w *TickWheel) Pending() int {
+	n := 0
+	for _, s := range w.slots {
+		for _, e := range s.entries {
+			if e.cancel.Load() == timerPending {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTickWheelCoalesces checks that many timers landing in the same
+// quantum share one underlying heap event and fire in Schedule order at
+// the slot boundary.
+func TestTickWheelCoalesces(t *testing.T) {
+	l := NewLoop(1)
+	w := NewTickWheel(l.Domain, 100*time.Millisecond)
+	var order []int
+	var at []time.Duration
+	for i := 0; i < 10; i++ {
+		i := i
+		// Deadlines 1..10 ms all round up to the 100 ms boundary.
+		w.Schedule(time.Duration(i+1)*time.Millisecond, func() {
+			order = append(order, i)
+			at = append(at, l.Now())
+		})
+	}
+	if got := l.Pending(); got != 1 {
+		t.Fatalf("10 wheel timers should share 1 heap event, have %d", got)
+	}
+	l.Run(time.Second)
+	if len(order) != 10 {
+		t.Fatalf("fired %d of 10", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("fire order %v, want schedule order", order)
+		}
+		if at[i] != 100*time.Millisecond {
+			t.Fatalf("entry %d fired at %v, want 100ms boundary", i, at[i])
+		}
+	}
+	if sch, fired := w.Stats(); sch != 10 || fired != 1 {
+		t.Fatalf("stats = (%d, %d), want (10, 1)", sch, fired)
+	}
+}
+
+// TestTickWheelStop checks cancellation: a stopped entry never fires,
+// Pending tracks it, and stopping twice reports false.
+func TestTickWheelStop(t *testing.T) {
+	l := NewLoop(1)
+	w := NewTickWheel(l.Domain, 50*time.Millisecond)
+	ran := 0
+	tm := w.Schedule(10*time.Millisecond, func() { ran++ })
+	keep := w.Schedule(10*time.Millisecond, func() { ran += 10 })
+	if w.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", w.Pending())
+	}
+	if !tm.Stop() {
+		t.Fatal("first Stop should report cancellation")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should be a no-op")
+	}
+	if w.Pending() != 1 {
+		t.Fatalf("Pending after stop = %d, want 1", w.Pending())
+	}
+	if !keep.Pending() {
+		t.Fatal("unstopped wheel timer should report Pending")
+	}
+	l.Run(time.Second)
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10 (stopped entry must not fire)", ran)
+	}
+	if keep.Pending() {
+		t.Fatal("fired wheel timer should not report Pending")
+	}
+}
+
+// TestTickWheelPeriodicRearm checks that a callback rescheduling itself
+// lands in a future slot (the wheel behaves like a Clock for periodic
+// protocol ticks) and that intervals never shrink below the request.
+func TestTickWheelPeriodicRearm(t *testing.T) {
+	l := NewLoop(1)
+	w := NewTickWheel(l.Domain, 100*time.Millisecond)
+	var fires []time.Duration
+	var tick func()
+	tick = func() {
+		fires = append(fires, l.Now())
+		if len(fires) < 5 {
+			w.Schedule(250*time.Millisecond, tick)
+		}
+	}
+	w.Schedule(250*time.Millisecond, tick)
+	l.Run(10 * time.Second)
+	if len(fires) != 5 {
+		t.Fatalf("fired %d times, want 5", len(fires))
+	}
+	for i := 1; i < len(fires); i++ {
+		gap := fires[i] - fires[i-1]
+		if gap < 250*time.Millisecond {
+			t.Fatalf("interval %d was %v, shorter than requested 250ms", i, gap)
+		}
+		if gap > 350*time.Millisecond {
+			t.Fatalf("interval %d was %v, beyond one quantum of slack", i, gap)
+		}
+	}
+}

@@ -81,15 +81,30 @@ type DomainProfile struct {
 	Sent      uint64        `json:"sent"`
 	Delivered uint64        `json:"delivered"`
 	Stalls    uint64        `json:"stalls"`
+	Trains    uint64        `json:"trains,omitempty"`
+	TrainMsgs uint64        `json:"train_msgs,omitempty"`
 }
 
 // ExecutorProfile aggregates the per-domain profiles with the round
 // structure of the conservative-lookahead executor.
 type ExecutorProfile struct {
-	Workers   int             `json:"workers"`
-	Rounds    uint64          `json:"rounds"`
-	Fallbacks uint64          `json:"fallbacks"`
-	Domains   []DomainProfile `json:"domains"`
+	Workers   int    `json:"workers"`
+	Rounds    uint64 `json:"rounds"`
+	Fallbacks uint64 `json:"fallbacks"`
+	// Windows counts domain execution windows (a domain picked up by a
+	// worker and run to its horizon); Trains/TrainMsgs the flushed
+	// cross-domain message batches; Deliveries the typed messages
+	// delivered. Steals, Parks, and ParkTime describe the work-stealing
+	// scheduler and are wall-clock/interleaving dependent — diagnostic
+	// only, never part of any parity digest.
+	Windows    uint64          `json:"windows"`
+	Trains     uint64          `json:"trains"`
+	TrainMsgs  uint64          `json:"train_msgs"`
+	Deliveries uint64          `json:"deliveries"`
+	Steals     uint64          `json:"steals"`
+	Parks      uint64          `json:"parks"`
+	ParkTime   time.Duration   `json:"park_time"`
+	Domains    []DomainProfile `json:"domains"`
 }
 
 // ProfileExecutor builds the per-domain stall/horizon profile from the
@@ -98,7 +113,17 @@ type ExecutorProfile struct {
 // stall counts describe the executor's rounds, not the simulation, and
 // are not part of the worker-parity contract.
 func ProfileExecutor(x *sim.Executor) ExecutorProfile {
-	p := ExecutorProfile{Workers: x.Workers(), Rounds: x.Rounds(), Fallbacks: x.Fallbacks()}
+	p := ExecutorProfile{
+		Workers:    x.Workers(),
+		Rounds:     x.Rounds(),
+		Fallbacks:  x.Fallbacks(),
+		Windows:    x.Windows(),
+		Deliveries: x.Deliveries(),
+		Steals:     x.Steals(),
+		Parks:      x.Parks(),
+		ParkTime:   x.ParkTime(),
+	}
+	p.Trains, p.TrainMsgs = x.TrainStats()
 	for _, d := range x.Domains() {
 		s := d.Stats()
 		p.Domains = append(p.Domains, DomainProfile{
@@ -111,6 +136,8 @@ func ProfileExecutor(x *sim.Executor) ExecutorProfile {
 			Sent:      s.Sent,
 			Delivered: s.Delivered,
 			Stalls:    s.Stalls,
+			Trains:    s.Trains,
+			TrainMsgs: s.TrainMsgs,
 		})
 	}
 	return p
