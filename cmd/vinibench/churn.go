@@ -41,7 +41,8 @@ type churnReport struct {
 // and verifies after every teardown that the substrate is exactly as
 // clean as before the slice existed: the packet-pool ledger balances
 // and the next cycle is re-admitted onto the recycled slice id, port
-// block, and 10.<id>/16 prefix.
+// block, and address prefix (the allocator's LIFO free lists hand
+// released blocks straight back).
 func churnExp() error {
 	cycles := count(8, 3)
 	v := core.New(*seedFlag)
@@ -68,6 +69,7 @@ func churnExp() error {
 	fmt.Printf("%-6s %8s %10s %8s %10s %12s %10s\n",
 		"cycle", "id", "baseport", "moved", "wall", "events", "inflight")
 	firstID := 0
+	var firstPrefix, firstPorts string
 	links := g.Links()
 	var prevFired uint64
 	for c := 0; c < cycles; c++ {
@@ -80,7 +82,10 @@ func churnExp() error {
 		}
 		if c == 0 {
 			firstID = s.ID()
-		} else if s.ID() != firstID {
+			firstPrefix = s.Prefix().String()
+			firstPorts = s.PortRange().String()
+		} else if s.ID() != firstID || s.Prefix().String() != firstPrefix ||
+			s.PortRange().String() != firstPorts {
 			rep.IDsRecycled = false
 		}
 		for _, pop := range g.Nodes() {
@@ -146,10 +151,10 @@ func churnExp() error {
 			row.WallSeconds, row.Events, row.InFlight)
 	}
 	if rep.IDsRecycled {
-		fmt.Printf("slice id %d, port block %d, prefix 10.%d/16 recycled across all %d cycles\n",
-			firstID, 33000+256*firstID, firstID, cycles)
+		fmt.Printf("slice id %d, port block %s, prefix %s recycled across all %d cycles\n",
+			firstID, firstPorts, firstPrefix, cycles)
 	} else {
-		rep.Note = "id recycling failed: destroyed slice ids were not reissued"
+		rep.Note = "recycling failed: destroyed slice id/prefix/ports were not reissued"
 		fmt.Println("WARNING: " + rep.Note)
 	}
 	if !rep.LedgerClean {

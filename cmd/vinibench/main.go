@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest|parallel|telemetry|churn] [-seed N] [-short] [-parallel N] [-v]
+//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest|parallel|telemetry|churn|scale] [-seed N] [-short] [-parallel N] [-slices N] [-nodes N] [-topo F -demands F] [-v]
 package main
 
 import (
@@ -30,8 +30,12 @@ var (
 	seedFlag     = flag.Int64("seed", 2, "simulation seed")
 	short        = flag.Bool("short", false, "shorter measurement windows")
 	parallelFlag = flag.Int("parallel", 4, "max worker count for the parallel-executor benchmark")
-	baselineFlag = flag.String("baseline", "", "path to a prior BENCH_parallel.json; the parallel experiment fails if the max-worker events/sec regresses more than 15% below it")
+	baselineFlag = flag.String("baseline", "", "path to a prior BENCH_parallel.json (or BENCH_scale.json for -exp scale); the experiment fails if the max-worker events/sec regresses more than 15% below it")
 	verbose      = flag.Bool("v", false, "print per-domain event counters in the parallel experiment")
+	scaleSlices  = flag.Int("slices", 500, "concurrent slice count for the scale experiment")
+	scaleNodes   = flag.Int("nodes", 64, "synthetic substrate size for the scale experiment")
+	topoFlag     = flag.String("topo", "", "external REPETITA .graph file for the scale experiment")
+	demandsFlag  = flag.String("demands", "", "external REPETITA .demands file for the scale experiment")
 )
 
 func main() {
@@ -62,6 +66,7 @@ func main() {
 	run("parallel", parallelExp)
 	run("telemetry", telemetryExp)
 	run("churn", churnExp)
+	run("scale", scaleExp)
 }
 
 // telemetryExp reruns the Figure 8 failure scenario with the telemetry

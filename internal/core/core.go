@@ -26,9 +26,12 @@ type VINI struct {
 	slices map[string]*Slice
 	order  []string
 	nextID int
-	// freeIDs recycles slice ids (and the port blocks and 10.<id>/16
-	// prefixes derived from them) released by Destroy, LIFO.
+	// freeIDs recycles slice ids released by Destroy, LIFO.
 	freeIDs []int
+	// plan allocates slice prefix blocks and port spans (addrplan.go);
+	// its free lists are LIFO too, so a same-shape re-admission gets
+	// back exactly the blocks the destroyed slice released.
+	plan *addrPlan
 	// reserved tracks admitted CPU reservations per physical node, the
 	// admission-control budget.
 	reserved map[string]float64
@@ -63,6 +66,7 @@ func build(loop *sim.Loop, shard bool) *VINI {
 		graph:    topology.New(),
 		slices:   make(map[string]*Slice),
 		nextID:   1,
+		plan:     newAddrPlan(),
 		reserved: make(map[string]float64),
 	}
 	return v
@@ -131,15 +135,26 @@ type SliceConfig struct {
 	// see underlying topology changes instead of having them masked
 	// (Sections 3.1 and 6.1).
 	ExposePhysicalFailures bool
+	// MaxNodes and MaxLinks bound the slice's embedding and let the
+	// address plan size its prefix block and port span to fit, instead
+	// of the legacy full /16 + 256 ports. Zero means unsized: the slice
+	// gets the legacy block (up to 250 virtual nodes and 8000 virtual
+	// links) and counts against the 126-slice legacy budget. Scale
+	// scenarios must set both.
+	MaxNodes int
+	MaxLinks int
 }
 
 // CreateSlice admits a new experiment. Each slice receives a private
-// 10.<id>.0.0/16 of the 10/8 space and a dedicated 256-port UDP block
-// at 33000+256*id (the VNET-style isolation); both derive from the
-// slice id, which is bounded (the port block must fit under 65536) and
-// recycled when a slice is destroyed. Admission validates the CPU
-// request here; per-node oversubscription is rejected at embedding
-// time, when the slice lands on concrete nodes.
+// prefix block out of 10/8 and a dedicated UDP port span from the
+// address plan (the VNET-style isolation), both sized to the embedding
+// hints in SliceConfig — an unsized slice gets the legacy /16 + 256
+// ports, a sized one as little as a /27 and 4 ports, which is what
+// raises the concurrency bound from 126 slices to thousands. Blocks
+// recycle LIFO through the resource ledger when a slice is destroyed.
+// Admission validates the CPU request here; per-node oversubscription
+// is rejected at embedding time, when the slice lands on concrete
+// nodes.
 func (v *VINI) CreateSlice(cfg SliceConfig) (*Slice, error) {
 	if _, dup := v.slices[cfg.Name]; dup {
 		return nil, fmt.Errorf("core: slice %q exists", cfg.Name)
@@ -150,19 +165,37 @@ func (v *VINI) CreateSlice(cfg SliceConfig) (*Slice, error) {
 	if cfg.CPUShare == 0 {
 		cfg.CPUShare = 1.0 / 40 // a PlanetLab node's default fair share
 	}
-	id, err := v.allocSliceID()
+	id := v.allocSliceID()
+	prefix, err := v.plan.acquirePrefix(cfg.MaxNodes, cfg.MaxLinks)
 	if err != nil {
-		return nil, err
+		v.freeSliceID(id)
+		return nil, fmt.Errorf("core: slice %q: %w", cfg.Name, err)
+	}
+	span := uint32(defaultPortSpan)
+	if cfg.MaxNodes > 0 {
+		span = sizedPortSpan
+	}
+	ports, err := v.plan.acquirePorts(span)
+	if err != nil {
+		v.plan.releasePrefix(prefix)
+		v.freeSliceID(id)
+		return nil, fmt.Errorf("core: slice %q: %w", cfg.Name, err)
 	}
 	s := &Slice{
 		vini:     v,
 		cfg:      cfg,
 		id:       id,
-		basePort: uint16(33000 + 256*id),
+		prefix:   prefix,
+		addrBase: addrU32(prefix.Addr()),
+		half:     (uint32(1) << (32 - prefix.Bits())) / 2,
+		ports:    ports,
+		basePort: ports.Lo,
 		vnodes:   make(map[string]*VirtualNode),
 		ctl:      sim.NewTimerGroup(v.loop),
 	}
 	s.res.acquire("slice-id", fmt.Sprintf("%d", id), func() { v.freeSliceID(id) })
+	s.res.acquire("addr-block", prefix.String(), func() { v.plan.releasePrefix(prefix) })
+	s.res.acquire("port-block", ports.String(), func() { v.plan.releasePorts(ports) })
 	// Physical topology upcalls are a held resource too: teardown
 	// unsubscribes, so a destroyed slice can never be called back.
 	sub := v.Net.OnLinkEvent(s.physicalEvent)

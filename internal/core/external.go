@@ -21,12 +21,22 @@ import (
 // destinations here. Call before StartOSPF/StartRIP.
 func (vn *VirtualNode) EnableEgress() error {
 	s := vn.slice
-	if s.id > maxEgressID {
-		// 40000 + 512*id + 511 must fit in uint16; id 49 would wrap.
-		return fmt.Errorf("core: slice id %d beyond NAT port space (max %d)", s.id, maxEgressID)
+	// The NAT range is a slice-wide allocation from the address plan
+	// (the old arithmetic 40000+512*id windows overlapped the tunnel
+	// blocks of ids >= 28); the first egress node acquires it into the
+	// ledger, later egress nodes on the same slice share it.
+	if !s.natPorts.Valid() {
+		r, err := s.vini.plan.acquirePorts(natPortSpan)
+		if err != nil {
+			return fmt.Errorf("core: slice %s egress: %w", s.cfg.Name, err)
+		}
+		s.natPorts = r
+		s.res.acquire("nat-ports", r.String(), func() {
+			s.vini.plan.releasePorts(r)
+			s.natPorts = PortRange{}
+		})
 	}
-	lo := uint16(40000 + 512*s.id)
-	hi := lo + 511
+	lo, hi := s.natPorts.Lo, s.natPorts.Hi
 	cfg := fmt.Sprintf(`
 		napt :: IPNAPT(%s, PORTS %d %d);
 		ext :: ToExternal;

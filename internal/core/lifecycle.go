@@ -7,9 +7,10 @@ package core
 // link-event subscriptions, telemetry series — is acquired through a
 // refcounted handle in the slice's resource ledger. Destroy releases
 // the ledger in reverse acquisition order, so a torn-down slice leaves
-// the substrate exactly as it found it: ports and the 10.<id>/16 block
-// recycle to the next admission, no timer survives in any domain heap
-// (timer groups), and the packet-pool ledger balances.
+// the substrate exactly as it found it: the port span and prefix block
+// recycle to the next admission (LIFO, through the address plan), no
+// timer survives in any domain heap (timer groups), and the packet-pool
+// ledger balances.
 
 import "fmt"
 
@@ -54,36 +55,24 @@ func (st SliceState) String() string {
 	}
 }
 
-const (
-	// maxSliceID bounds the tunnel-port allocator: basePort = 33000 +
-	// 256*id must leave room for the full 256-port block below 65536,
-	// so ids stop at 126 (33000 + 256*126 + 255 = 65511). id 127 would
-	// silently wrap uint16 — the allocator bug this bound fixes.
-	maxSliceID = 126
-	// maxEgressID bounds the NAT port-range allocator the same way:
-	// 40000 + 512*id + 511 must stay under 65536, so egress works for
-	// ids up to 48 (40000 + 512*48 + 511 = 65087).
-	maxEgressID = 48
-)
-
 // allocSliceID returns a free slice id, preferring recycled ids (LIFO)
 // so long-running substrates with slice churn never exhaust the space.
-func (v *VINI) allocSliceID() (int, error) {
+// Ids are unbounded labels now: addresses and ports come from the
+// address plan (addrplan.go), whose allocators bound concurrency — not
+// from id arithmetic, which is what used to cap the substrate at 126
+// slices.
+func (v *VINI) allocSliceID() int {
 	if n := len(v.freeIDs); n > 0 {
 		id := v.freeIDs[n-1]
 		v.freeIDs = v.freeIDs[:n-1]
-		return id, nil
-	}
-	if v.nextID > maxSliceID {
-		return 0, fmt.Errorf("core: slice id space exhausted (max %d concurrent slices)", maxSliceID)
+		return id
 	}
 	id := v.nextID
 	v.nextID++
-	return id, nil
+	return id
 }
 
-// freeSliceID recycles id (and with it the derived port block and
-// 10.<id>/16 prefix) for the next admission.
+// freeSliceID recycles id for the next admission.
 func (v *VINI) freeSliceID(id int) {
 	v.freeIDs = append(v.freeIDs, id)
 }
@@ -149,11 +138,19 @@ func (l *ledger) holdings() []string {
 // State returns the slice's lifecycle state.
 func (s *Slice) State() SliceState { return s.state }
 
-// ID returns the slice's substrate id (the <id> of 10.<id>/16).
+// ID returns the slice's substrate id (an opaque label; addresses and
+// ports no longer derive from it).
 func (s *Slice) ID() int { return s.id }
 
 // BasePort returns the first port of the slice's tunnel port block.
 func (s *Slice) BasePort() uint16 { return s.basePort }
+
+// PortRange returns the slice's allocated tunnel port span.
+func (s *Slice) PortRange() PortRange { return s.ports }
+
+// NATPortRange returns the slice's NAT egress span; the zero range
+// until the first EnableEgress allocates one.
+func (s *Slice) NATPortRange() PortRange { return s.natPorts }
 
 // Resources lists the slice's live resource acquisitions, for tests
 // and operator inspection.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -84,8 +86,11 @@ func TestAdmissionRejectsCPUOversubscription(t *testing.T) {
 
 func TestSliceIDBoundAndRecycling(t *testing.T) {
 	v := buildLine(t, 1)
+	// Unsized (legacy-shape) slices each take a 256-port span, so the
+	// port space admits exactly 126 of them — the historical bound, now
+	// enforced by the allocator rather than id arithmetic.
 	var slices []*Slice
-	for i := 0; i < maxSliceID; i++ {
+	for i := 0; i < 126; i++ {
 		s, err := v.CreateSlice(SliceConfig{Name: string(rune('A'+i/26)) + string(rune('a'+i%26))})
 		if err != nil {
 			t.Fatalf("slice %d: %v", i, err)
@@ -93,17 +98,46 @@ func TestSliceIDBoundAndRecycling(t *testing.T) {
 		slices = append(slices, s)
 	}
 	last := slices[len(slices)-1]
-	if last.id != maxSliceID {
-		t.Fatalf("last id = %d, want %d", last.id, maxSliceID)
-	}
-	// The port block of the highest id must fit in uint16.
-	if hi := int(last.basePort) + 255; hi > 65535 || int(last.basePort) != 33000+256*maxSliceID {
+	// Every allocated block fits in uint16 and matches the historical
+	// layout for sequential unsized admissions.
+	if hi := int(last.basePort) + 255; hi > 65535 || int(last.basePort) != 33000+256*126 {
 		t.Fatalf("port block [%d, %d] out of range", last.basePort, hi)
 	}
 	if _, err := v.CreateSlice(SliceConfig{Name: "overflow"}); err == nil {
-		t.Fatal("id past the port space admitted (uint16 wrap)")
+		t.Fatal("unsized slice past the port space admitted")
+	} else if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("exhaustion error not typed: %v", err)
 	}
-	// Destroy recycles the id, port block, and prefix.
+	// Sized slices break the ceiling: destroying one unsized slice
+	// frees a 256-port block, which the allocator splits into 64
+	// 4-port spans — 63 more concurrent slices than the old scheme
+	// could ever hold.
+	if err := slices[0].Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	var sized []*Slice
+	for i := 0; i < 64; i++ {
+		s, err := v.CreateSlice(SliceConfig{Name: fmt.Sprintf("sized%02d", i), MaxNodes: 3, MaxLinks: 3})
+		if err != nil {
+			t.Fatalf("sized slice %d: %v", i, err)
+		}
+		if s.Prefix().Bits() <= 16 {
+			t.Fatalf("sized slice got a %v block, want smaller than /16", s.Prefix())
+		}
+		sized = append(sized, s)
+	}
+	if len(v.order) != 125+64 {
+		t.Fatalf("%d concurrent slices, want 189 (past the old 126 ceiling)", len(v.order))
+	}
+	if _, err := v.CreateSlice(SliceConfig{Name: "sizedover", MaxNodes: 3}); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("sized slice past the port space: %v, want ErrExhausted", err)
+	}
+	for _, s := range sized {
+		if err := s.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Destroy recycles the id, port block, and prefix (LIFO).
 	victim := slices[41]
 	id, port, prefix := victim.id, victim.basePort, victim.Prefix()
 	if err := victim.Destroy(); err != nil {
@@ -117,36 +151,76 @@ func TestSliceIDBoundAndRecycling(t *testing.T) {
 		t.Fatalf("recycled slice got id=%d port=%d prefix=%v, want %d/%d/%v",
 			s.id, s.basePort, s.Prefix(), id, port, prefix)
 	}
+	if err := v.AuditAddressPlan(); err != nil {
+		t.Fatal(err)
+	}
 }
 
-func TestEgressPortSpaceBound(t *testing.T) {
+func TestEgressPortSpace(t *testing.T) {
 	v := buildLine(t, 1)
-	for i := 1; i < maxEgressID; i++ { // burn ids 1..47
-		if _, err := v.CreateSlice(SliceConfig{Name: string(rune('a'+i/26)) + string(rune('A'+i%26))}); err != nil {
+	// Egress works regardless of slice id: the NAT range is allocated,
+	// not derived from 40000+512*id (which wrapped past id 48 and
+	// overlapped tunnel blocks from id 28).
+	for i := 0; i < 60; i++ {
+		if _, err := v.CreateSlice(SliceConfig{
+			Name: string(rune('a'+i/26)) + string(rune('A'+i%26)), MaxNodes: 3}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	ok, err := v.CreateSlice(SliceConfig{Name: "edge"}) // id 48
+	s, err := v.CreateSlice(SliceConfig{Name: "edge", MaxNodes: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	vn, err := ok.AddVirtualNode("west")
+	vn, err := s.AddVirtualNode("west")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := vn.EnableEgress(); err != nil {
-		t.Fatalf("egress at id %d (last valid): %v", ok.id, err)
+		t.Fatalf("egress at id %d: %v", s.id, err)
 	}
-	over, err := v.CreateSlice(SliceConfig{Name: "beyond"}) // id 49
+	nat := s.NATPortRange()
+	if !nat.Valid() || nat.Size() != 512 {
+		t.Fatalf("NAT range %v, want a valid 512-port span", nat)
+	}
+	// The NAT range must not overlap any slice's tunnel block — the
+	// latent bug of the arithmetic scheme.
+	for _, name := range v.order {
+		tun := v.slices[name].PortRange()
+		if nat.Lo <= tun.Hi && tun.Lo <= nat.Hi {
+			t.Fatalf("NAT range %v overlaps tunnel block %v of slice %s", nat, tun, name)
+		}
+	}
+	// A second egress node on the same slice shares the range.
+	vn2, err := s.AddVirtualNode("east")
 	if err != nil {
 		t.Fatal(err)
 	}
-	vn2, err := over.AddVirtualNode("east")
+	if err := vn2.EnableEgress(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NATPortRange(); got != nat {
+		t.Fatalf("second egress reallocated the NAT range: %v then %v", nat, got)
+	}
+	// Destroy returns the range; the next slice's egress reuses it.
+	if err := s.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := v.CreateSlice(SliceConfig{Name: "edge2", MaxNodes: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := vn2.EnableEgress(); err == nil {
-		t.Fatalf("egress at id %d accepted (NAT range wraps uint16)", over.id)
+	vn3, err := s2.AddVirtualNode("west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vn3.EnableEgress(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.NATPortRange(); got != nat {
+		t.Fatalf("NAT range not recycled LIFO: %v, want %v", got, nat)
+	}
+	if err := v.AuditAddressPlan(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -17,10 +17,22 @@ import (
 // links (UDP tunnels), with its own addresses, ports, forwarding tables,
 // and routing processes.
 type Slice struct {
-	vini     *VINI
-	cfg      SliceConfig
-	id       int
+	vini *VINI
+	cfg  SliceConfig
+	id   int
+	// prefix is the slice's allocated address block; addrBase is its
+	// network address as a uint32 and half its midpoint: taps live in
+	// [base+1, base+half), /30 link subnets in [base+half, base+2*half).
+	prefix   netip.Prefix
+	addrBase uint32
+	half     uint32
+	// ports is the allocated tunnel port span; basePort (== ports.Lo)
+	// stays a field because the encap hot path reads it per packet.
+	ports    PortRange
 	basePort uint16
+	// natPorts is the NAT egress span, allocated lazily by the first
+	// EnableEgress on the slice.
+	natPorts PortRange
 	vnodes   map[string]*VirtualNode
 	vorder   []string
 	vlinks   []*VirtualLink
@@ -69,8 +81,27 @@ type VirtualLink struct {
 func (s *Slice) Name() string { return s.cfg.Name }
 
 // Prefix returns the slice's private address block.
-func (s *Slice) Prefix() netip.Prefix {
-	return netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(s.id), 0, 0}), 16)
+func (s *Slice) Prefix() netip.Prefix { return s.prefix }
+
+// addrAt returns the address at the given offset into the slice block.
+func (s *Slice) addrAt(off uint32) netip.Addr { return u32Addr(s.addrBase + off) }
+
+// hostCap bounds tap addresses: the lower half of the block, minus the
+// network address, capped at the legacy 250 for /16 blocks.
+func (s *Slice) hostCap() int {
+	if s.half >= 256 {
+		return 250
+	}
+	return int(s.half) - 2
+}
+
+// subnetCap bounds /30 link subnets: the upper half of the block in
+// 4-address words (numbering starts at 1), capped at the legacy 8000.
+func (s *Slice) subnetCap() int {
+	if n := int(s.half/4) - 1; n < 8000 {
+		return n
+	}
+	return 8000
 }
 
 // OnAlarm registers the upcall handler for substrate topology changes.
@@ -106,11 +137,12 @@ func (s *Slice) AddVirtualNode(physName string) (*VirtualNode, error) {
 	}
 	cpu := s.res.acquire("cpu", physName, func() { s.vini.releaseCPU(physName, s.cfg.CPUShare) })
 	s.nextHost++
-	if s.nextHost > 250 {
+	if s.nextHost > s.hostCap() {
 		cpu.release()
-		return nil, fmt.Errorf("core: slice %s out of tap addresses", s.cfg.Name)
+		return nil, fmt.Errorf("core: slice %s out of tap addresses (block %s holds %d): %w",
+			s.cfg.Name, s.prefix, s.hostCap(), ErrExhausted)
 	}
-	tap := netip.AddrFrom4([4]byte{10, byte(s.id), 0, byte(s.nextHost)})
+	tap := s.addrAt(uint32(s.nextHost))
 	vn, err := newVirtualNode(s, phys, tap)
 	if err != nil {
 		cpu.release()
@@ -128,16 +160,17 @@ func (s *Slice) AddVirtualNode(physName string) (*VirtualNode, error) {
 // addresses.
 func (s *Slice) allocSubnet() (netip.Prefix, netip.Addr, netip.Addr, error) {
 	s.nextNet++
-	if s.nextNet > 8000 {
-		return netip.Prefix{}, netip.Addr{}, netip.Addr{}, fmt.Errorf("core: slice %s out of /30 subnets", s.cfg.Name)
+	if s.nextNet > s.subnetCap() {
+		return netip.Prefix{}, netip.Addr{}, netip.Addr{},
+			fmt.Errorf("core: slice %s out of /30 subnets (block %s holds %d): %w",
+				s.cfg.Name, s.prefix, s.subnetCap(), ErrExhausted)
 	}
-	// Subnets live in the upper half of the /16: 10.<id>.128.0/17.
-	off := s.nextNet * 4
-	third := byte(128 + off/256)
-	fourth := byte(off % 256)
-	base := netip.AddrFrom4([4]byte{10, byte(s.id), third, fourth})
-	a := netip.AddrFrom4([4]byte{10, byte(s.id), third, fourth + 1})
-	b := netip.AddrFrom4([4]byte{10, byte(s.id), third, fourth + 2})
+	// Subnets live in the upper half of the block (10.<x>.128.0/17 for
+	// the legacy /16 shape).
+	off := s.half + uint32(s.nextNet)*4
+	base := s.addrAt(off)
+	a := s.addrAt(off + 1)
+	b := s.addrAt(off + 2)
 	return netip.PrefixFrom(base, 30), a, b, nil
 }
 

@@ -1,0 +1,472 @@
+package simtest
+
+// The scale regime: hundreds of concurrent slices embedded on a
+// REPETITA-format topology (synthetic by default, external files
+// optionally), each slice a small overlay along one demand's shortest
+// path, driven by demand-matrix traffic. This is the regime the
+// address-plan allocator exists for — 126 slices was the old ceiling —
+// and the regime where the parallel executor earns its keep, so the
+// whole scenario carries the same determinism obligations as Run: every
+// digest byte-identical for any worker count.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"time"
+
+	"vini/internal/core"
+	"vini/internal/netem"
+	"vini/internal/packet"
+	"vini/internal/sched"
+	"vini/internal/sim"
+	"vini/internal/topology"
+	"vini/internal/traffic"
+)
+
+// ScaleOptions configures one scale scenario.
+type ScaleOptions struct {
+	Seed int64
+	// Nodes sizes the synthetic substrate (default 64); ignored when
+	// GraphText is given.
+	Nodes int
+	// Slices is the concurrent slice count (default 200).
+	Slices int
+	// Workers selects the engine: 0 the classic loop, >= 1 the sharded
+	// executor with that worker budget.
+	Workers int
+	// Flaps is the number of virtual-link failure/recovery cycles
+	// (default 2).
+	Flaps int
+	// Window is the demand-traffic measurement window (default 5s).
+	Window time.Duration
+	// GraphText/DemandsText carry external REPETITA file contents;
+	// both empty selects the pinned synthetic scenario.
+	GraphText   string
+	DemandsText string
+}
+
+// ScaleResult is everything one scale scenario produced.
+type ScaleResult struct {
+	Seed    int64
+	Workers int
+	Nodes   int
+	Links   int
+	Slices  int
+	VNodes  int
+	Flows   int
+	// Sent/Delivered count demand datagrams; OfferedBps the scaled load.
+	Sent       uint64
+	Delivered  uint64
+	OfferedBps float64
+	// Events counts fired executor events end to end.
+	Events     uint64
+	Log        []string
+	Violations []string
+	// Digest folds every deterministic observation (embeddings, FIB
+	// fingerprints per phase, traffic counts, violations); it and the
+	// other digests must be byte-identical across worker counts.
+	Digest          uint64
+	ScheduleDigest  uint64
+	TelemetryDigest uint64
+	FlightDigest    uint64
+	Telemetry       string
+	// BuildSeconds/RunSeconds split wall-clock spend (diagnostic only —
+	// never folded into digests).
+	BuildSeconds float64
+	RunSeconds   float64
+}
+
+// Failed reports whether any invariant was violated.
+func (r *ScaleResult) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *ScaleResult) String() string {
+	s := fmt.Sprintf("scale seed=%d workers=%d nodes=%d slices=%d vnodes=%d flows=%d sent=%d delivered=%d events=%d digest=%016x",
+		r.Seed, r.Workers, r.Nodes, r.Slices, r.VNodes, r.Flows, r.Sent, r.Delivered, r.Events, r.Digest)
+	for _, l := range r.Log {
+		s += "\n  " + l
+	}
+	for _, v := range r.Violations {
+		s += "\n  VIOLATION: " + v
+	}
+	return s
+}
+
+// scaleSlice is one embedded slice and its invariant-checking state.
+type scaleSlice struct {
+	s     *core.Slice
+	hops  []string
+	vns   []*core.VirtualNode
+	owner map[netip.Addr]int
+	// chord is the redundant first-last virtual link (nil for 2-node
+	// slices), the one whose middle links can fail without partition.
+	chord *core.VirtualLink
+	// mid is the failable virtual link (between hops 0 and 1).
+	mid  *core.VirtualLink
+	rate float64
+}
+
+// maxScaleHops caps each slice's path length: slices are deliberately
+// small so hundreds fit, and a 6-hop overlay exercises multi-hop
+// forwarding plenty.
+const maxScaleHops = 6
+
+// RunScale executes one seeded scale scenario end to end.
+func RunScale(opts ScaleOptions) (*ScaleResult, error) {
+	if opts.Nodes == 0 {
+		opts.Nodes = 64
+	}
+	if opts.Slices == 0 {
+		opts.Slices = 200
+	}
+	if opts.Flaps == 0 {
+		opts.Flaps = 2
+	}
+	if opts.Window == 0 {
+		opts.Window = 5 * time.Second
+	}
+	graphText, demandsText := opts.GraphText, opts.DemandsText
+	if graphText == "" {
+		demandCount := opts.Slices
+		if demandCount < 64 {
+			demandCount = 64
+		}
+		graphText, demandsText = topology.SynthRepetita(opts.Nodes, demandCount, opts.Seed)
+	}
+	g, names, err := topology.ParseRepetita(graphText)
+	if err != nil {
+		return nil, err
+	}
+	mat, err := topology.ParseRepetitaDemands(demandsText, names)
+	if err != nil {
+		return nil, err
+	}
+	if !g.Connected(nil) {
+		return nil, fmt.Errorf("simtest: scale topology not connected")
+	}
+	if len(names) > 40000 {
+		return nil, fmt.Errorf("simtest: scale topology too large (%d nodes)", len(names))
+	}
+	if len(mat.Demands) == 0 {
+		return nil, fmt.Errorf("simtest: scale demand matrix empty")
+	}
+
+	buildStart := time.Now()
+	vini := core.New(opts.Seed)
+	if opts.Workers > 0 {
+		vini = core.NewParallel(opts.Seed, opts.Workers)
+	}
+	vini.EnableTelemetry()
+	res := &ScaleResult{Seed: opts.Seed, Workers: opts.Workers,
+		Nodes: len(names), Links: len(g.Links()), Slices: opts.Slices}
+	note := func(format string, args ...any) {
+		res.Log = append(res.Log, fmt.Sprintf(format, args...))
+	}
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	digest := fnv.New64a()
+	fold := func(format string, args ...any) {
+		fmt.Fprintf(digest, format+"\n", args...)
+	}
+
+	// Substrate: one physical node per topology node, REPETITA link
+	// parameters verbatim.
+	prof := netem.DETERProfile()
+	for i, name := range names {
+		addr := netip.AddrFrom4([4]byte{198, byte(18 + i/40000), byte(1 + (i/200)%200), byte(1 + i%200)})
+		if _, err := vini.AddNode(name, addr, prof, sched.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range g.Links() {
+		if _, err := vini.AddLink(netem.LinkConfig{A: l.A, B: l.B,
+			Bandwidth: l.Bandwidth, Delay: l.Delay}); err != nil {
+			return nil, err
+		}
+	}
+	vini.ComputeRoutes()
+
+	// Embed one slice per demand (cycling if the matrix is short): the
+	// demand's shortest path, capped at maxScaleHops, with a redundant
+	// first-last chord on >= 3-hop slices so one virtual link can fail
+	// without partitioning the overlay.
+	spCache := make(map[string]map[string]topology.Path)
+	paths := func(src string) map[string]topology.Path {
+		if p, ok := spCache[src]; ok {
+			return p
+		}
+		p := g.ShortestPaths(src, nil)
+		spCache[src] = p
+		return p
+	}
+	const cpuShare = 0.001
+	slices := make([]*scaleSlice, 0, opts.Slices)
+	di := 0
+	for len(slices) < opts.Slices {
+		if di >= 4*opts.Slices+len(mat.Demands) {
+			return nil, fmt.Errorf("simtest: demand matrix yields too few usable paths (%d of %d slices)",
+				len(slices), opts.Slices)
+		}
+		d := mat.Demands[di%len(mat.Demands)]
+		di++
+		p, ok := paths(d.Src)[d.Dst]
+		if !ok || len(p.Hops) < 2 {
+			continue
+		}
+		hops := p.Hops
+		if len(hops) > maxScaleHops {
+			hops = hops[:maxScaleHops]
+		}
+		name := fmt.Sprintf("s%04d", len(slices))
+		s, err := vini.CreateSlice(core.SliceConfig{
+			Name: name, CPUShare: cpuShare,
+			MaxNodes: len(hops), MaxLinks: len(hops),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("simtest: scale slice %d: %w", len(slices), err)
+		}
+		ss := &scaleSlice{s: s, hops: hops, rate: d.RateBps, owner: make(map[netip.Addr]int)}
+		for _, h := range hops {
+			vn, err := s.AddVirtualNode(h)
+			if err != nil {
+				return nil, fmt.Errorf("simtest: scale slice %s on %s: %w", name, h, err)
+			}
+			ss.vns = append(ss.vns, vn)
+		}
+		for i := 0; i+1 < len(hops); i++ {
+			vl, err := s.ConnectVirtual(hops[i], hops[i+1], 1)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				ss.mid = vl
+			}
+		}
+		if len(hops) >= 3 {
+			vl, err := s.ConnectVirtual(hops[0], hops[len(hops)-1], 64)
+			if err != nil {
+				return nil, err
+			}
+			ss.chord = vl
+		}
+		for i, vn := range ss.vns {
+			ss.owner[vn.TapAddr] = i
+			for _, ifc := range vn.Interfaces() {
+				ss.owner[ifc.Addr] = i
+			}
+		}
+		s.StartOSPF(2*time.Second, 6*time.Second)
+		fold("slice %s id=%d prefix=%s ports=%s hops=%v",
+			name, s.ID(), s.Prefix(), s.PortRange(), hops)
+		slices = append(slices, ss)
+		res.VNodes += len(ss.vns)
+	}
+	note("embedded %d slices (%d vnodes) on %d nodes / %d links",
+		len(slices), res.VNodes, res.Nodes, res.Links)
+	res.BuildSeconds = time.Since(buildStart).Seconds()
+
+	runStart := time.Now()
+	baseline := packet.Stats()
+	loop := vini.Loop()
+	allVN := make([]*core.VirtualNode, 0, res.VNodes)
+	for _, ss := range slices {
+		allVN = append(allVN, ss.vns...)
+	}
+	// The settle window (8 x 1s) must exceed the OSPF dead interval:
+	// after a link flap nothing in any FIB moves until a dead timer
+	// fires, and declaring quiescence inside that silence would check
+	// invariants against pre-reconvergence state.
+	stable := func(phase string) {
+		took, ok := loop.RunUntilStable(time.Second, 240*time.Second, 8, func() uint64 {
+			return fibFingerprint(allVN)
+		})
+		if !ok {
+			violate("%s: FIBs did not quiesce within 240s", phase)
+		}
+		fold("%s stable took=%v fib=%016x", phase, took, fibFingerprint(allVN))
+	}
+	// walkAll checks per-slice loop-freedom and reachability: every
+	// ordered (src, dst-tap) pair inside each slice must walk the
+	// next-hop graph to delivery without cycling.
+	walkAll := func(phase string) {
+		bad := 0
+		for _, ss := range slices {
+			for d, dvn := range ss.vns {
+				for s := range ss.vns {
+					if s == d {
+						continue
+					}
+					r, path := walkFIB(ss.vns, ss.owner, s, dvn.TapAddr)
+					if r != walkDelivered {
+						bad++
+						if bad <= 5 {
+							violate("%s: slice %s walk %d->%d: %v (%s)",
+								phase, ss.s.Name(), s, d, r, path)
+						}
+					}
+				}
+			}
+		}
+		if bad > 5 {
+			violate("%s: %d total failed walks", phase, bad)
+		}
+		fold("%s walks bad=%d", phase, bad)
+	}
+
+	stable("converge")
+	walkAll("converge")
+	// Control-plane consistency on every vnode: protocol vs RIB vs FIB,
+	// plus the Click cache audit.
+	for _, ss := range slices {
+		for i, vn := range ss.vns {
+			if err := vn.RIB().Verify(); err != nil {
+				violate("slice %s n%d RIB vs FIB: %v", ss.s.Name(), i, err)
+			}
+			if err := vn.Router.Audit(); err != nil {
+				violate("slice %s n%d click audit: %v", ss.s.Name(), i, err)
+			}
+		}
+	}
+
+	// Virtual-link flap cycles on chord-protected slices: the overlay
+	// must reconverge around the failed link (via the chord) and back.
+	eligible := make([]*scaleSlice, 0, len(slices))
+	for _, ss := range slices {
+		if ss.chord != nil {
+			eligible = append(eligible, ss)
+		}
+	}
+	rng := sim.NewRNG(opts.Seed ^ 0x5ca1e)
+	for f := 0; f < opts.Flaps && len(eligible) > 0; f++ {
+		ss := eligible[rng.Intn(len(eligible))]
+		ss.mid.SetFailed(true)
+		stable(fmt.Sprintf("flap%d-down", f))
+		for d, dvn := range ss.vns {
+			for s := range ss.vns {
+				if s == d {
+					continue
+				}
+				if r, path := walkFIB(ss.vns, ss.owner, s, dvn.TapAddr); r != walkDelivered {
+					violate("flap%d: slice %s lost %d->%d with chord up: %v (%s)",
+						f, ss.s.Name(), s, d, r, path)
+				}
+			}
+		}
+		ss.mid.SetFailed(false)
+		stable(fmt.Sprintf("flap%d-up", f))
+		fold("flap%d slice=%s fib=%016x", f, ss.s.Name(), fibFingerprint(ss.vns))
+	}
+
+	// Demand-driven traffic: one CBR flow per slice between its first
+	// and last virtual node taps, at the demand's rate scaled down so
+	// hundreds of concurrent flows stay tractable.
+	flowMat := &topology.DemandMatrix{}
+	endpoints := make(map[string]*core.VirtualNode, 2*len(slices))
+	for _, ss := range slices {
+		src, dst := ss.s.Name()+"/src", ss.s.Name()+"/dst"
+		endpoints[src] = ss.vns[0]
+		endpoints[dst] = ss.vns[len(ss.vns)-1]
+		flowMat.Demands = append(flowMat.Demands, topology.Demand{
+			Src: src, Dst: dst, RateBps: ss.rate})
+	}
+	flows, err := traffic.StartDemands(vini.Net, flowMat,
+		func(name string) (*netem.Node, netip.Addr, bool) {
+			vn, ok := endpoints[name]
+			if !ok {
+				return nil, netip.Addr{}, false
+			}
+			return vn.Phys(), vn.TapAddr, true
+		},
+		traffic.DemandConfig{Scale: 0.05, Payload: 256})
+	if err != nil {
+		return nil, err
+	}
+	res.Flows = len(flows.Flows)
+	res.OfferedBps = flows.OfferedBps
+	vini.Run(loop.Now() + opts.Window)
+	flows.Stop()
+	// Drain in-flight datagrams, then every sent packet must have
+	// arrived: the overlay was converged and loop-free, so loss would
+	// mean a forwarding or scheduling defect.
+	for i := 0; i < 60 && flows.Delivered() != flows.Sent(); i++ {
+		vini.Run(loop.Now() + 250*time.Millisecond)
+	}
+	res.Sent, res.Delivered = flows.Sent(), flows.Delivered()
+	if res.Sent == 0 {
+		violate("traffic: no datagrams sent in %v window", opts.Window)
+	}
+	if res.Delivered != res.Sent {
+		violate("traffic: delivered %d of %d demand datagrams", res.Delivered, res.Sent)
+	}
+	note("traffic: %d flows, %.1f kbps offered, %d sent / %d delivered",
+		res.Flows, res.OfferedBps/1000, res.Sent, res.Delivered)
+	fold("traffic flows=%d offered=%.0f sent=%d delivered=%d",
+		res.Flows, res.OfferedBps, res.Sent, res.Delivered)
+
+	// Churn tail: destroy a handful of slices, audit the books, and
+	// re-admit the same shapes — the allocator must hand the released
+	// blocks straight back (LIFO), at full scale.
+	tail := 4
+	if tail > len(slices) {
+		tail = len(slices)
+	}
+	for i := len(slices) - tail; i < len(slices); i++ {
+		ss := slices[i]
+		prefix, ports := ss.s.Prefix(), ss.s.PortRange()
+		if err := ss.s.Destroy(); err != nil {
+			violate("churn destroy %s: %v", ss.s.Name(), err)
+			continue
+		}
+		if err := ss.s.Audit(); err != nil {
+			violate("churn audit %s: %v", ss.s.Name(), err)
+		}
+		s2, err := vini.CreateSlice(core.SliceConfig{
+			Name: ss.s.Name() + "r", CPUShare: cpuShare,
+			MaxNodes: len(ss.hops), MaxLinks: len(ss.hops)})
+		if err != nil {
+			violate("churn readmit %s: %v", ss.s.Name(), err)
+			continue
+		}
+		if s2.Prefix() != prefix || s2.PortRange() != ports {
+			violate("churn readmit %s got %v/%v, want LIFO reuse of %v/%v",
+				s2.Name(), s2.Prefix(), s2.PortRange(), prefix, ports)
+		}
+		fold("churn %s -> %s prefix=%s ports=%s", ss.s.Name(), s2.Name(), s2.Prefix(), s2.PortRange())
+		if err := s2.Destroy(); err != nil {
+			violate("churn re-destroy %s: %v", s2.Name(), err)
+		}
+	}
+
+	// Final accounting: every slice ledger, the substrate address plan,
+	// and the packet pool must balance.
+	for _, ss := range slices {
+		if err := ss.s.Audit(); err != nil {
+			violate("final audit %s: %v", ss.s.Name(), err)
+		}
+	}
+	if err := vini.AuditAddressPlan(); err != nil {
+		violate("address plan: %v", err)
+	}
+	for i := 0; i < 40 && packet.Stats().Sub(baseline).InFlight() != 0; i++ {
+		vini.Run(loop.Now() + 50*time.Millisecond)
+	}
+	res.Violations = append(res.Violations, checkConservation(baseline, "end of scale run")...)
+
+	for _, v := range res.Violations {
+		fold("violation %s", v)
+	}
+	res.Digest = digest.Sum64()
+	res.Events = vini.Executor().TotalFired()
+	res.ScheduleDigest = vini.Executor().ScheduleDigest()
+	if tel := vini.Telemetry(); tel != nil {
+		res.TelemetryDigest = tel.Reg.Digest()
+		res.FlightDigest = tel.Rec.Digest()
+		if js, err := tel.SnapshotJSON(); err == nil {
+			res.Telemetry = string(js)
+		}
+	}
+	res.RunSeconds = time.Since(runStart).Seconds()
+	vini.Close()
+	return res, nil
+}

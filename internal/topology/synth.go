@@ -1,0 +1,85 @@
+package topology
+
+// Synthetic REPETITA-format scenario generator: a deterministic
+// ISP-like topology (ring backbone plus random chords) and a matching
+// demand matrix, rendered in the exact file format ParseRepetita and
+// ParseRepetitaDemands consume. The scale simtest regime and vinibench
+// -exp scale run on these when no external REPETITA files are given, so
+// the generator is pinned by a golden test against committed testdata —
+// its output is part of the determinism surface.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// synthRNG is a self-contained xorshift64* so generator output never
+// depends on math/rand's version-specific stream.
+type synthRNG uint64
+
+func (r *synthRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = synthRNG(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (r *synthRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// SynthRepetita renders an n-node topology and a k-entry demand matrix
+// in REPETITA text format, deterministically from the seed. The
+// topology is a ring (always connected) plus ~n/2 chords; link delays
+// are 1–3 ms (comfortably above the parallel executor's lookahead
+// floor), bandwidths 1 Gbps, IGP weights 1–10. Demand rates are 50–500
+// kbps per origin-destination pair.
+func SynthRepetita(n, k int, seed int64) (graph, demands string) {
+	if n < 3 {
+		n = 3
+	}
+	rng := synthRNG(uint64(seed)*0x9E3779B97F4A7C15 + 1)
+	var g strings.Builder
+	fmt.Fprintf(&g, "NODES %d\nlabel x y\n", n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&g, "n%03d %d.0 %d.0\n", i, i%16, i/16)
+	}
+	type edge struct{ a, b, w1, w2, delay int }
+	var edges []edge
+	have := make(map[[2]int]bool)
+	addEdge := func(a, b int) {
+		key := [2]int{a, b}
+		if b < a {
+			key = [2]int{b, a}
+		}
+		if a == b || have[key] {
+			return
+		}
+		have[key] = true
+		edges = append(edges, edge{a: a, b: b,
+			w1: 1 + rng.intn(10), w2: 1 + rng.intn(10),
+			delay: 1000 + rng.intn(2000)})
+	}
+	for i := 0; i < n; i++ {
+		addEdge(i, (i+1)%n)
+	}
+	for c := 0; c < n/2; c++ {
+		addEdge(rng.intn(n), rng.intn(n))
+	}
+	fmt.Fprintf(&g, "\nEDGES %d\nlabel src dest weight bw delay\n", 2*len(edges))
+	for i, e := range edges {
+		fmt.Fprintf(&g, "edge_%d %d %d %d 1000000 %d\n", 2*i, e.a, e.b, e.w1, e.delay)
+		fmt.Fprintf(&g, "edge_%d %d %d %d 1000000 %d\n", 2*i+1, e.b, e.a, e.w2, e.delay)
+	}
+	var d strings.Builder
+	fmt.Fprintf(&d, "DEMANDS %d\nlabel src dest bw\n", k)
+	for i := 0; i < k; i++ {
+		src := rng.intn(n)
+		dst := rng.intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		fmt.Fprintf(&d, "demand_%d %d %d %d\n", i, src, dst, 50+rng.intn(451))
+	}
+	return g.String(), d.String()
+}

@@ -143,5 +143,8 @@ func (t *UDPCBR) LossRate() float64 {
 // Received returns the packets delivered.
 func (t *UDPCBR) Received() uint32 { return t.received }
 
+// Sent returns the datagrams emitted so far.
+func (t *UDPCBR) Sent() uint32 { return t.seq }
+
 // Jitter returns the final smoothed jitter estimate in milliseconds.
 func (t *UDPCBR) Jitter() float64 { return t.jitter * 1000 }
