@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"runtime"
 	"time"
 
 	"vini/internal/core"
@@ -28,6 +29,9 @@ type churnRow struct {
 
 type churnReport struct {
 	Topology    string     `json:"topology"`
+	GoVersion   string     `json:"go_version"`
+	NumCPU      int        `json:"num_cpu"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
 	Cycles      int        `json:"cycles"`
 	Rows        []churnRow `json:"rows"`
 	IDsRecycled bool       `json:"ids_recycled"`
@@ -63,7 +67,9 @@ func churnExp() error {
 	v.ComputeRoutes()
 	baseline := packet.Stats()
 	loop := v.Loop()
-	rep := churnReport{Topology: "abilene", Cycles: cycles,
+	rep := churnReport{Topology: "abilene",
+		GoVersion: runtime.Version(), NumCPU: runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Cycles: cycles,
 		IDsRecycled: true, LedgerClean: true}
 	fmt.Printf("slice churn on Abilene (11 PoPs), %d cycles\n", cycles)
 	fmt.Printf("%-6s %8s %10s %8s %10s %12s %10s\n",

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"sort"
 	"testing"
 	"time"
 
@@ -73,8 +74,12 @@ func main() {
 // layer enabled and dumps what it captured: the metrics registry and
 // flight-recorder digests (the values the worker-parity property pins),
 // the convergence windows derived from the control-plane timeline, and
-// the per-domain executor profile. With -v it also emits the full JSON
-// snapshot, the machine-readable form the Section 5 harness reads.
+// the per-domain executor profile. The whole scenario runs twice with
+// the same seed; the two digest pairs must match byte-for-byte or the
+// experiment fails — the same replay-determinism property the
+// distributed executor's parity proof rests on. With -v it also emits
+// the full JSON snapshot, the machine-readable form the Section 5
+// harness reads.
 func telemetryExp() error {
 	e, err := experiment.NewAbilene(*seedFlag)
 	if err != nil {
@@ -87,6 +92,19 @@ func telemetryExp() error {
 	snap := tel.Snapshot()
 	fmt.Printf("metrics: %d series (digest %016x); flight recorder: %d events, %d dropped (digest %016x)\n",
 		len(snap.Metrics), snap.MetricsDigest, len(snap.Events), snap.Dropped, snap.FlightDigest)
+	replay, err := experiment.NewAbilene(*seedFlag)
+	if err != nil {
+		return err
+	}
+	if _, err := replay.Figure8(); err != nil {
+		return err
+	}
+	rsnap := replay.V.Telemetry().Snapshot()
+	if rsnap.MetricsDigest != snap.MetricsDigest || rsnap.FlightDigest != snap.FlightDigest {
+		return fmt.Errorf("telemetry: DIGEST MISMATCH on replay: metrics %016x vs %016x, flight %016x vs %016x",
+			snap.MetricsDigest, rsnap.MetricsDigest, snap.FlightDigest, rsnap.FlightDigest)
+	}
+	fmt.Printf("replay cross-check: second seeded run reproduced both digests\n")
 	fmt.Println("convergence after link events (first-class query over the timeline):")
 	for _, c := range snap.Convergences {
 		dir := "up"
@@ -427,9 +445,15 @@ func bar(pct float64) string {
 
 func fig7() error {
 	fmt.Println("Abilene topology as extracted from router configurations (Figure 7)")
+	files := rcc.AbileneConfigs()
+	codes := make([]string, 0, len(files))
+	for code := range files {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
 	var configs []*rcc.RouterConfig
-	for _, text := range rcc.AbileneConfigs() {
-		c, err := rcc.Parse(text)
+	for _, code := range codes {
+		c, err := rcc.Parse(files[code])
 		if err != nil {
 			return err
 		}

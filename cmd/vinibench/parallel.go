@@ -53,6 +53,7 @@ type parallelReport struct {
 	Topology     string        `json:"topology"`
 	Slices       int           `json:"slices"`
 	VirtualSecs  float64       `json:"virtual_seconds"`
+	GoVersion    string        `json:"go_version"`
 	NumCPU       int           `json:"num_cpu"`
 	GOMAXPROCS   int           `json:"gomaxprocs"`
 	Rows         []parallelRow `json:"rows"`
@@ -182,6 +183,7 @@ func parallelExp() error {
 	rep := parallelReport{
 		Topology: "abilene", Slices: len(cbrPairs),
 		VirtualSecs: window.Seconds(),
+		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
 		DigestsAgree: true,
 	}

@@ -33,6 +33,7 @@ type scaleReport struct {
 	VNodes     int        `json:"vnodes"`
 	Flows      int        `json:"flows"`
 	OfferedBps float64    `json:"offered_bps"`
+	GoVersion  string     `json:"go_version"`
 	NumCPU     int        `json:"num_cpu"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	Rows       []scaleRow `json:"rows"`
@@ -77,7 +78,8 @@ func scaleExp() error {
 		workerCounts = append(workerCounts, w)
 	}
 	rep := scaleReport{
-		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
 		DigestsAgree: true,
 		Topology:     "synthetic",
 	}

@@ -424,9 +424,18 @@ type AbileneExperiment struct {
 // NewAbilene builds the experiment from the embedded Abilene router
 // configurations and runs until the overlay's OSPF converges.
 func NewAbilene(seed int64) (*AbileneExperiment, error) {
+	// Parse in sorted key order: BuildTopology numbers nodes (and so the
+	// executor numbers domains) in config order, and map iteration order
+	// would make same-seed runs diverge.
+	files := rcc.AbileneConfigs()
+	codes := make([]string, 0, len(files))
+	for code := range files {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
 	var configs []*rcc.RouterConfig
-	for code, text := range rcc.AbileneConfigs() {
-		rc, err := rcc.Parse(text)
+	for _, code := range codes {
+		rc, err := rcc.Parse(files[code])
 		if err != nil {
 			return nil, fmt.Errorf("config %s: %w", code, err)
 		}

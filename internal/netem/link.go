@@ -128,6 +128,25 @@ func (d *linkDir) Invoke(arg any) {
 	d.dst.receive(p, d.link)
 }
 
+// EncodeArg, DecodeArg, and DropArg make linkDir a sim.WireHandler, so a
+// delivery whose receiving node lives in another process shard can ride
+// the socket transport: the packet (data plus annotations) is the wire
+// argument. The sender's copy is released after encoding; the owner
+// shard decodes into a fresh pooled packet.
+func (d *linkDir) EncodeArg(dst []byte, arg any) []byte {
+	return packet.AppendWire(dst, arg.(*packet.Packet))
+}
+
+func (d *linkDir) DecodeArg(b []byte) (any, error) {
+	p, err := packet.DecodeWire(b)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (d *linkDir) DropArg(arg any) { arg.(*packet.Packet).Release() }
+
 // Instrument attaches telemetry counters to one direction (0: A->B,
 // 1: B->A). Call from the driver before traffic flows.
 func (l *Link) Instrument(dir int, pkts, bytes, drops *telemetry.Counter) {

@@ -87,6 +87,14 @@ type Domain struct {
 	digest uint64
 	stats  DomainStats
 
+	// remote marks a replica domain in a sharded run: another shard owns
+	// and executes this domain's timeline. The local copy exists so
+	// replicated world construction and control-domain code hold
+	// identical references, but it never materializes or fires events —
+	// Schedule is inert, its inbox is drained onto the wire at exchange
+	// barriers, and the executor never enqueues it.
+	remote bool
+
 	// lookIn is the minimum latency of any cross-domain edge into this
 	// domain (the conservative lookahead); maxTime when nothing sends
 	// here.
@@ -149,6 +157,10 @@ func (d *Domain) Label() string { return d.label }
 // Now returns the domain's current virtual time.
 func (d *Domain) Now() time.Duration { return d.now }
 
+// Remote reports whether this domain is an inert replica whose timeline
+// executes on another shard (always false outside sharded runs).
+func (d *Domain) Remote() bool { return d.remote }
+
 // RNG returns the domain's deterministic random stream. Each domain
 // forks its own stream at creation, so draws in one domain never
 // perturb another's sequence regardless of execution interleaving.
@@ -190,6 +202,12 @@ func (d *Domain) Schedule(delay time.Duration, fn func()) Timer {
 	if fn == nil {
 		panic("sim: Schedule with nil fn")
 	}
+	if d.remote {
+		// Replica of a domain owned by another shard: the owner's
+		// replicated copy of the calling code schedules the authentic
+		// event. A zero Timer is inert (Stop and Pending are no-ops).
+		return Timer{}
+	}
 	if delay < 0 {
 		delay = 0
 	}
@@ -216,6 +234,12 @@ func (d *Domain) SendTo(dst *Domain, delay time.Duration, fn func()) Timer {
 	}
 	if fn == nil {
 		panic("sim: SendTo with nil fn")
+	}
+	if d.remote {
+		// Replicated driver-time code runs on every shard; only the
+		// shard owning the calling domain materializes its sends (and a
+		// closure could not cross the process boundary anyway).
+		return Timer{}
 	}
 	if delay < 0 {
 		delay = 0

@@ -143,6 +143,20 @@ type Executor struct {
 	rounds    uint64
 	fallbacks uint64
 
+	// transport is the cross-shard seam: an in-process no-op by default,
+	// replaced by Distribute for sharded runs. shard/shards identify this
+	// process's slice of the domain space; terr is the sticky transport
+	// error that aborted the last Run, if any.
+	transport DomainTransport
+	shard     int
+	shards    int
+	terr      error
+
+	// wireHandlers/wireIDs map typed handlers onto stable cross-process
+	// ids (BindWire), assigned in registration order.
+	wireHandlers []WireHandler
+	wireIDs      map[WireHandler]uint32
+
 	// Diagnostic counters (scheduler-dependent, outside the parity
 	// contract).
 	windows atomic.Uint64
@@ -161,7 +175,7 @@ func NewExecutor(seed int64, workers int) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
-	x := &Executor{workers: workers}
+	x := &Executor{workers: workers, transport: inprocTransport{}, shards: 1}
 	ctrl := &Domain{id: 0, label: "control", exec: x, rng: NewRNG(seed),
 		lookIn: maxTime}
 	ctrl.inboxMin.Store(int64(maxTime))
@@ -186,6 +200,9 @@ func (x *Executor) NewDomain(label string) *Domain {
 		rng: ctrl.rng.Fork(), now: ctrl.now,
 		lookIn: maxTime}
 	d.inboxMin.Store(int64(maxTime))
+	if x.shards > 1 {
+		d.remote = OwnerShard(d.id, x.shards) != x.shard
+	}
 	x.domains = append(x.domains, d)
 	return d
 }
@@ -273,11 +290,16 @@ func (x *Executor) ScheduleDigest() uint64 {
 // executing complete. Safe to call from event callbacks.
 func (x *Executor) Stop() { x.stopped.Store(true) }
 
-// Pending reports scheduled events across all domains, including
+// Pending reports scheduled events across all owned domains, including
 // not-yet-delivered cross-domain messages and unflushed trains.
+// Replica domains are excluded: their pending input belongs to their
+// owning shard.
 func (x *Executor) Pending() int {
 	n := 0
 	for _, d := range x.domains {
+		if d.remote {
+			continue
+		}
 		n += len(d.heap)
 		n += d.trainBacklog()
 		d.inMu.Lock()
@@ -303,24 +325,26 @@ func (x *Executor) Shutdown() {
 // Run executes events until every domain's next event lies beyond
 // until, or Stop is called. Virtual time in every domain is advanced to
 // until when its work drains first, mirroring the classic Loop.Run
-// contract.
-func (x *Executor) Run(until time.Duration) {
+// contract. In a sharded run the returned error is the typed
+// TransportError that aborted the superstep protocol (a peer died,
+// timed out, or desynchronized); single-process runs never fail.
+func (x *Executor) Run(until time.Duration) error {
 	x.stopped.Store(false)
 	if len(x.domains) == 1 {
 		d := x.domains[0]
 		for !x.stopped.Load() && len(d.heap) > 0 {
 			if d.heap[0].at > until {
 				d.now = until
-				return
+				return nil
 			}
 			d.step()
 		}
 		if d.now < until {
 			d.now = until
 		}
-		return
+		return nil
 	}
-	x.run(until, true)
+	return x.run(until, true)
 }
 
 // RunAll executes events until every queue is empty or Stop is called,
@@ -354,9 +378,15 @@ func (x *Executor) ensureWorkers() {
 		return
 	}
 	x.started = true
+	owned := 0
+	for _, d := range x.domains[1:] {
+		if !d.remote {
+			owned++
+		}
+	}
 	n := x.workers
-	if n > len(x.domains)-1 {
-		n = len(x.domains) - 1
+	if n > owned {
+		n = owned
 	}
 	if n < 1 {
 		n = 1
@@ -387,6 +417,11 @@ func (x *Executor) flushAllTrains() {
 
 func (x *Executor) deliverAll() {
 	for _, d := range x.domains {
+		if d.remote {
+			// Replica inboxes hold cross-shard traffic awaiting the next
+			// transport Exchange; they are never materialized locally.
+			continue
+		}
 		d.drainInbox()
 	}
 }
@@ -402,10 +437,14 @@ func (x *Executor) advanceAll(t time.Duration) {
 	}
 }
 
-// nodeNext returns the earliest pending timestamp over node domains.
+// nodeNext returns the earliest pending timestamp over owned node
+// domains.
 func (x *Executor) nodeNext() time.Duration {
 	min := maxTime
 	for _, d := range x.domains[1:] {
+		if d.remote {
+			continue
+		}
 		if n := d.next(); n < min {
 			min = n
 		}
@@ -418,7 +457,7 @@ func (x *Executor) nodeNext() time.Duration {
 func (x *Executor) stepGlobalMin() bool {
 	var best *Domain
 	for _, d := range x.domains {
-		if len(d.heap) == 0 {
+		if d.remote || len(d.heap) == 0 {
 			continue
 		}
 		if best == nil || less(d.heap[0], best.heap[0]) {
@@ -456,7 +495,7 @@ func (x *Executor) progress() uint64 {
 // cache-local), or -1 for coordinator round-robin seeding. The control
 // domain is never enqueued: only the coordinator runs it, at barriers.
 func (x *Executor) enqueue(d *Domain, wid int) {
-	if d.id == 0 {
+	if d.id == 0 || d.remote {
 		return
 	}
 	for {
@@ -665,8 +704,22 @@ func (x *Executor) runDomain(wid int, d *Domain) {
 	}
 }
 
-// run is the multi-domain coordinator loop described on Executor.
-func (x *Executor) run(until time.Duration, advance bool) {
+// run is the multi-domain coordinator loop described on Executor. Each
+// iteration is one superstep: flush and exchange cross-shard traffic,
+// deliver inboxes, agree on the global node bound through the
+// transport, then take exactly one action — one control event, a
+// return (window exhausted), one sequential fallback event, or one
+// parallel epoch. Every branch decision is a pure function of the
+// agreed Decision plus control-domain state replicated on all shards,
+// so sharded processes stay in lockstep. In-process (the default
+// transport) the loop executes the identical event sequence the
+// pre-transport engine did.
+//
+// Control runs at most ONE event per agreement: a control event can
+// schedule node events that exist only at their owning shard, so the
+// global node bound must be re-agreed before deciding whether another
+// control event still precedes all node work.
+func (x *Executor) run(until time.Duration, advance bool) error {
 	x.ensureWorkers()
 	ctrl := x.domains[0]
 	x.untilA.Store(int64(until))
@@ -676,38 +729,46 @@ func (x *Executor) run(until time.Duration, advance bool) {
 	for _, d := range x.domains {
 		d.pub.Store(int64(d.now))
 	}
+	// The fallback decision needs the previous iteration's epoch
+	// outcome: an epoch that ran but consumed nothing anywhere means
+	// the promise fixpoint is stuck below every pending event.
+	var (
+		lastDelta    uint64
+		lastEpochRan bool
+	)
 	for {
 		if x.stopped.Load() {
-			return
+			return nil
 		}
 		x.flushAllTrains()
+		if err := x.transport.Exchange(x); err != nil {
+			return x.fail(err)
+		}
 		x.deliverAll()
+
+		v := Vote{Key: x.localMinKey(), Delta: lastDelta, EpochRan: lastEpochRan}
+		lastDelta, lastEpochRan = 0, false
+		dec, err := x.transport.Agree(x, v)
+		if err != nil {
+			return x.fail(err)
+		}
 
 		// Control phase, at a true barrier. At equal timestamps the
 		// merge order (at, dom, seq) puts control (domain 0) first, so
 		// the limit comparison below is inclusive.
-		ranCtrl := false
-		for len(ctrl.heap) > 0 {
-			if x.stopped.Load() {
-				return
-			}
+		if len(ctrl.heap) > 0 {
 			cn := ctrl.heap[0].at
 			lim := until
-			if nm := x.nodeNext(); nm < lim {
-				lim = nm
+			if dec.NodeNext < lim {
+				lim = dec.NodeNext
 			}
-			if cn > lim {
-				break
+			if cn <= lim {
+				x.advanceAll(cn)
+				ctrl.step()
+				// Control work may have scheduled node events or sent
+				// messages; restart from the exchange barrier.
+				continue
 			}
-			x.advanceAll(cn)
-			ctrl.step()
-			x.flushAllTrains()
-			ranCtrl = true
-		}
-		if ranCtrl {
-			// Control work may have scheduled node events or sent
-			// messages; restart from the delivery barrier.
-			continue
 		}
 
 		ctrlNext := maxTime
@@ -716,20 +777,32 @@ func (x *Executor) run(until time.Duration, advance bool) {
 		}
 		x.ctrlGate.Store(int64(ctrlNext))
 
-		if x.nodeNext() > until {
-			// The control loop already ran everything at or before
-			// min(until, nodeNext), so nothing within the window
+		if dec.NodeNext > until {
+			// The control phase already ran everything at or before
+			// min(until, NodeNext), so nothing within the window
 			// remains anywhere.
 			if advance {
 				x.advanceAll(until)
 			}
-			return
+			return nil
 		}
 
-		// Epoch: seed every node domain (idle ones still relay promise
-		// updates), hold the live latch until seeding completes so a
-		// fast cascade cannot signal quiescence mid-seed, then wait for
-		// the zero-crossing.
+		if dec.Fallback {
+			// Quiescent with no progress anywhere: a zero-lookahead
+			// cycle (or a promise fixpoint below every pending event).
+			// Run exactly the globally minimal event sequentially — on
+			// the shard that owns it — which is the identical total
+			// order a shared heap would have used, so determinism
+			// holds; only parallelism is lost.
+			x.fallbacks++
+			x.stepLocalKey(dec.FallbackKey)
+			continue
+		}
+
+		// Epoch: seed every owned node domain (idle ones still relay
+		// promise updates), hold the live latch until seeding completes
+		// so a fast cascade cannot signal quiescence mid-seed, then wait
+		// for the zero-crossing.
 		before := x.progress()
 		select {
 		case <-x.quietCh:
@@ -740,7 +813,18 @@ func (x *Executor) run(until time.Duration, advance bool) {
 		// now/pub belong to the workers. Interleaving the sync with the
 		// enqueues raced — and the check-then-store could overwrite a
 		// concurrently raised bound with a stale lower one.
+		//
+		// Replica domains are pinned to the agreed global bound instead:
+		// every event any shard fires this epoch has timestamp >= that
+		// bound, so a cross-shard message from a replica's owner arrives
+		// at >= bound+delay — strictly beyond any horizon derived from
+		// the pin — and is injected at the next Exchange before it could
+		// ever be late.
 		for _, d := range x.domains[1:] {
+			if d.remote {
+				d.pub.Store(int64(dec.NodeNext))
+				continue
+			}
 			if p := int64(d.now); p > d.pub.Load() {
 				d.pub.Store(p)
 			}
@@ -752,16 +836,7 @@ func (x *Executor) run(until time.Duration, advance bool) {
 		x.released()
 		<-x.quietCh
 		x.rounds++
-
-		if x.progress() == before && !x.stopped.Load() {
-			// Quiescent with no progress: a zero-lookahead cycle (or a
-			// promise fixpoint below every pending event). Run exactly
-			// one globally minimal event sequentially — identical total
-			// order to a shared heap, so determinism holds; only
-			// parallelism is lost.
-			x.fallbacks++
-			x.stepGlobalMin()
-			x.flushAllTrains()
-		}
+		lastDelta = x.progress() - before
+		lastEpochRan = true
 	}
 }

@@ -1,0 +1,93 @@
+package simtest
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"vini/internal/sim"
+)
+
+// TestDistParityInProcess runs the distributed-parity scenario whole,
+// then sharded three ways over loopback TCP sockets (three executors in
+// one process — the transport cannot tell), and requires the merged
+// schedule and telemetry digests to be byte-identical to the
+// single-process run.
+func TestDistParityInProcess(t *testing.T) {
+	p := DistParams{Seed: 424242, Nodes: 6, Duration: 2 * time.Second, Workers: 2}
+	base, err := RunDist(p, nil, 0, 1)
+	if err != nil {
+		t.Fatalf("single-process run: %v", err)
+	}
+	if base.Delivered == 0 {
+		t.Fatal("scenario delivered no traffic")
+	}
+
+	const shards = 3
+	const timeout = 30 * time.Second
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+
+	results := make([]*DistResult, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 1; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			w, _, err := sim.DialCoordinator(ln.Addr().String(), s, timeout)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			defer w.Close()
+			r, err := RunDist(p, w, s, shards)
+			if err == nil {
+				err = w.Report(r.DomainDigests, nil)
+			}
+			results[s], errs[s] = r, err
+		}(s)
+	}
+	coord, err := sim.AcceptWorkers(ln, shards, nil, timeout)
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	defer coord.Close()
+	results[0], errs[0] = RunDist(p, coord, 0, shards)
+	if errs[0] != nil {
+		t.Fatalf("coordinator run: %v", errs[0])
+	}
+	if _, err := coord.Gather(); err != nil {
+		t.Fatalf("gather: %v", err)
+	}
+	wg.Wait()
+	for s := 1; s < shards; s++ {
+		if errs[s] != nil {
+			t.Fatalf("shard %d: %v", s, errs[s])
+		}
+	}
+
+	sched, tel, err := MergeDistResults(results, shards)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if sched != base.ScheduleDigest {
+		t.Fatalf("merged schedule digest %016x != single-process %016x", sched, base.ScheduleDigest)
+	}
+	if tel != base.TelemetryDigest {
+		t.Fatalf("merged telemetry digest %016x != single-process %016x", tel, base.TelemetryDigest)
+	}
+	// Each flow's receiver lives on exactly one shard, so delivered
+	// counts partition across shards.
+	var sum uint64
+	for _, r := range results {
+		sum += r.Delivered
+	}
+	if sum != base.Delivered {
+		t.Fatalf("sharded runs delivered %d packets, single-process %d", sum, base.Delivered)
+	}
+}

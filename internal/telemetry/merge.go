@@ -1,0 +1,47 @@
+package telemetry
+
+import "fmt"
+
+// MergeSnapshots reassembles a whole-world snapshot from per-shard
+// snapshots of a replicated registry. Every shard builds the identical
+// world and so registers the identical series in the identical order,
+// but each series' value is authoritative only on the shard that
+// executes its node's domain. base (the coordinator's snapshot) provides
+// the series universe and order; owner maps a series' node label to the
+// shard whose snapshot holds the live value; byShard[s] is shard s's
+// snapshot (byShard[0] may be nil — base already holds shard 0's
+// values).
+//
+// The merged snapshot digests (DigestOf) byte-identically to a
+// single-process run's Registry.Digest.
+func MergeSnapshots(base []MetricValue, owner func(node string) int, byShard [][]MetricValue) ([]MetricValue, error) {
+	type key struct{ slice, node, name, kind string }
+	idx := make([]map[key]MetricValue, len(byShard))
+	for s, snap := range byShard {
+		if snap == nil {
+			continue
+		}
+		idx[s] = make(map[key]MetricValue, len(snap))
+		for _, mv := range snap {
+			idx[s][key{mv.Slice, mv.Node, mv.Name, mv.Kind}] = mv
+		}
+	}
+	out := make([]MetricValue, len(base))
+	for i, mv := range base {
+		s := owner(mv.Node)
+		if s == 0 {
+			out[i] = mv
+			continue
+		}
+		if s < 0 || s >= len(byShard) || idx[s] == nil {
+			return nil, fmt.Errorf("telemetry: no snapshot from shard %d (series %s/%s/%s)", s, mv.Slice, mv.Node, mv.Name)
+		}
+		sub, ok := idx[s][key{mv.Slice, mv.Node, mv.Name, mv.Kind}]
+		if !ok {
+			return nil, fmt.Errorf("telemetry: shard %d snapshot missing series %s/%s/%s (%s) — worlds diverged",
+				s, mv.Slice, mv.Node, mv.Name, mv.Kind)
+		}
+		out[i] = sub
+	}
+	return out, nil
+}

@@ -415,9 +415,14 @@ func (r *Registry) Snapshot() []MetricValue {
 // Digest folds every metric (labels and values) in registration order.
 // Two runs match iff they registered the same metrics in the same
 // order with the same final values.
-func (r *Registry) Digest() uint64 {
+func (r *Registry) Digest() uint64 { return DigestOf(r.Snapshot()) }
+
+// DigestOf folds a snapshot exactly as Registry.Digest does, so a
+// snapshot merged from several process shards can be compared against a
+// single-process registry digest byte for byte.
+func DigestOf(snap []MetricValue) uint64 {
 	h := uint64(fnvOffset)
-	for _, mv := range r.Snapshot() {
+	for _, mv := range snap {
 		h = fnvString(h, mv.Slice)
 		h = fnvString(h, mv.Node)
 		h = fnvString(h, mv.Name)

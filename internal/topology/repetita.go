@@ -116,12 +116,26 @@ func (s *repScanner) section(keyword string, maxCount int) (int, error) {
 // finite parses a float that must be finite and non-negative (NaN,
 // infinities, and negative values are malformed input, not data).
 func (s *repScanner) finite(field, what string) (float64, error) {
+	v, err := s.coord(field, what)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("line %d: %s %q not a finite non-negative number", s.line, what, field)
+	}
+	return v, nil
+}
+
+// coord parses a float that must merely be finite: node coordinates are
+// positions (real datasets store longitude/latitude, so negatives are
+// data, not errors).
+func (s *repScanner) coord(field, what string) (float64, error) {
 	v, err := strconv.ParseFloat(field, 64)
 	if err != nil {
 		return 0, fmt.Errorf("line %d: bad %s %q", s.line, what, field)
 	}
-	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-		return 0, fmt.Errorf("line %d: %s %q not a finite non-negative number", s.line, what, field)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("line %d: %s %q not a finite number", s.line, what, field)
 	}
 	return v, nil
 }
@@ -164,10 +178,10 @@ func ParseRepetita(text string) (*Graph, []string, error) {
 		if len(f) != 3 {
 			return nil, nil, fmt.Errorf("topology: repetita: line %d: node row needs 3 fields, got %d", s.line, len(f))
 		}
-		if _, err := s.finite(f[1], "node x"); err != nil {
+		if _, err := s.coord(f[1], "node x"); err != nil {
 			return nil, nil, fmt.Errorf("topology: repetita: %w", err)
 		}
-		if _, err := s.finite(f[2], "node y"); err != nil {
+		if _, err := s.coord(f[2], "node y"); err != nil {
 			return nil, nil, fmt.Errorf("topology: repetita: %w", err)
 		}
 		if seen[f[0]] {
