@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest|parallel|telemetry|churn|scale] [-seed N] [-short] [-parallel N] [-slices N] [-nodes N] [-topo F -demands F] [-v]
+//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest|parallel|telemetry|churn|migrate|scale] [-seed N] [-short] [-parallel N] [-slices N] [-nodes N] [-topo F -demands F] [-v]
 package main
 
 import (
@@ -67,6 +67,7 @@ func main() {
 	run("parallel", parallelExp)
 	run("telemetry", telemetryExp)
 	run("churn", churnExp)
+	run("migrate", migrateExp)
 	run("scale", scaleExp)
 }
 

@@ -34,6 +34,7 @@ func init() {
 	Register("Queue", newQueue)
 	Register("BandwidthShaper", newBandwidthShaper)
 	Register("LinkFail", newLinkFail)
+	Register("DupSuppress", newDupSuppress)
 	Register("ToTunnel", newToTunnel)
 	Register("ICMPError", newICMPError)
 	Register("Strip", newStrip)
@@ -1009,6 +1010,66 @@ func (e *linkFail) Handler(name, value string) (string, error) {
 		return strconv.FormatUint(e.dropped, 10), nil
 	}
 	return "", fmt.Errorf("linkfail: no handler %q", name)
+}
+
+// dupSuppress drops packets carrying the MigClone annotation — the
+// stamped duplicates a migrating neighbor's peers send toward the shadow
+// process during the make-before-break cutover window. Exactly one copy
+// of every double-delivered packet is marked, and marked copies are
+// dropped unconditionally at every receiver, so double-delivery can
+// never become duplicate delivery. The check is a branch on an
+// annotation bit: no per-packet state, no allocation, deterministic
+// under any worker count. The active handler exists for the mutation
+// tests, which disable suppression and assert the migration invariant
+// checker catches the resulting duplicates.
+type dupSuppress struct {
+	base
+	active  bool
+	dropped uint64
+	mDrops  *telemetry.Counter
+}
+
+func newDupSuppress(name string, args []string) (Element, error) {
+	e := &dupSuppress{base: base{name: name}, active: true}
+	for _, a := range args {
+		f := strings.Fields(a)
+		switch {
+		case len(f) == 2 && strings.EqualFold(f[0], "ACTIVE"):
+			e.active = f[1] == "true" || f[1] == "1"
+		case a == "":
+		default:
+			return nil, fmt.Errorf("dupsuppress: unknown arg %q", a)
+		}
+	}
+	return e, nil
+}
+
+func (e *dupSuppress) Class() string { return "DupSuppress" }
+
+func (e *dupSuppress) Instrument(sc *telemetry.Scope) { e.mDrops = sc.Counter("drops") }
+
+func (e *dupSuppress) Push(port int, p *packet.Packet) {
+	if e.active && p.Anno.MigClone {
+		e.dropped++
+		e.mDrops.Inc()
+		e.trace("dup-drop", p)
+		p.Release()
+		return
+	}
+	e.out.Output(0, p)
+}
+
+func (e *dupSuppress) Handler(name, value string) (string, error) {
+	switch {
+	case name == "active" && value == "":
+		return strconv.FormatBool(e.active), nil
+	case name == "active":
+		e.active = value == "true" || value == "1"
+		return "", nil
+	case name == "drops" && value == "":
+		return strconv.FormatUint(e.dropped, 10), nil
+	}
+	return "", fmt.Errorf("dupsuppress: no handler %q", name)
 }
 
 // icmpError generates the ICMP error for the offending packet it

@@ -213,3 +213,49 @@ func TestDuplicateElementClassPanics(t *testing.T) {
 	}()
 	Register("Discard", newDiscard)
 }
+
+// TestDupSuppress: marked migration clones die at the element, unmarked
+// packets pass, and the active handler (used by the mutation tests to
+// break suppression deliberately) lets clones through.
+func TestDupSuppress(t *testing.T) {
+	ctx, _, _ := testCtx()
+	r := mustParse(t, ctx, `
+		in :: FromTunnel;
+		dup :: DupSuppress;
+		out :: TestSink;
+		in -> dup -> out;
+	`)
+	clean := packet.Get()
+	copy(clean.Extend(3), "abc")
+	r.Push("in", 0, clean)
+	clone := packet.Get()
+	copy(clone.Extend(3), "abc")
+	clone.Anno.MigClone = true
+	r.Push("in", 0, clone)
+	s, _ := r.Element("out")
+	if got := len(s.(*sink).got); got != 1 {
+		t.Fatalf("delivered %d packets, want 1 (clone must be suppressed)", got)
+	}
+	if v, err := r.Handler("dup.drops", ""); err != nil || v != "1" {
+		t.Fatalf("drops = %q err=%v", v, err)
+	}
+	if v, err := r.Handler("dup.active", ""); err != nil || v != "true" {
+		t.Fatalf("active = %q err=%v", v, err)
+	}
+	// Break suppression (the mutation-test hook): clones now leak.
+	if _, err := r.Handler("dup.active", "false"); err != nil {
+		t.Fatalf("set active: %v", err)
+	}
+	leaked := packet.Get()
+	leaked.Anno.MigClone = true
+	r.Push("in", 0, leaked)
+	if got := len(s.(*sink).got); got != 2 {
+		t.Fatalf("delivered %d packets after disabling suppression, want 2", got)
+	}
+	for _, p := range s.(*sink).got {
+		p.Release()
+	}
+	if _, err := r.Handler("dup.nope", ""); err == nil {
+		t.Fatal("unknown handler accepted")
+	}
+}

@@ -61,6 +61,7 @@ func (vn *VirtualNode) EnableEgress() error {
 		{Prefix: netip.MustParsePrefix("0.0.0.0/0"), OutPort: portNAPT},
 	})
 	vn.extraStubs = append(vn.extraStubs, netip.MustParsePrefix("0.0.0.0/0"))
+	vn.egress = true
 	return nil
 }
 

@@ -2,7 +2,9 @@ package core
 
 // Slice lifecycle: every slice moves through an explicit state machine
 // (Admitted → Embedded → Running → Paused ⇄ Running → Draining →
-// Destroyed) and every substrate resource it takes — CPU reservation,
+// Destroyed, with a Running → Migrating → Running excursion while a
+// make-before-break migration is in flight) and every substrate
+// resource it takes — CPU reservation,
 // UDP port range, address block, kernel address aliases, processes,
 // link-event subscriptions, telemetry series — is acquired through a
 // refcounted handle in the slice's resource ledger. Destroy releases
@@ -29,6 +31,12 @@ const (
 	// StatePaused: forwarders parked, inbound traffic dropped at the
 	// sockets; resources stay held.
 	StatePaused
+	// StateMigrating: a make-before-break migration is in flight — one
+	// virtual node exists twice (old instance plus shadow) until the
+	// cutover retires the old one. The slice keeps forwarding
+	// throughout; Running resumes when the migration completes or
+	// aborts.
+	StateMigrating
 	// StateDraining: teardown in progress (transient within Destroy).
 	StateDraining
 	// StateDestroyed: every resource released; the slice object remains
@@ -46,6 +54,8 @@ func (st SliceState) String() string {
 		return "Running"
 	case StatePaused:
 		return "Paused"
+	case StateMigrating:
+		return "Migrating"
 	case StateDraining:
 		return "Draining"
 	case StateDestroyed:
@@ -110,6 +120,25 @@ func (l *ledger) acquire(kind, name string, free func()) *handle {
 	h := &handle{kind: kind, name: name, refs: 1, free: free}
 	l.handles = append(l.handles, h)
 	return h
+}
+
+// drop force-frees one handle out of order and removes it from the
+// ledger. Migration retires a single vnode incarnation while the slice
+// lives on, so the whole-ledger releaseAll does not apply; dropping
+// (rather than release) keeps a live slice's Audit clean — no
+// zero-reference handle is left behind.
+func (l *ledger) drop(h *handle) {
+	h.refs = 0
+	if h.free != nil {
+		h.free()
+		h.free = nil
+	}
+	for i := len(l.handles) - 1; i >= 0; i-- {
+		if l.handles[i] == h {
+			l.handles = append(l.handles[:i], l.handles[i+1:]...)
+			break
+		}
+	}
 }
 
 // releaseAll force-drains every handle in reverse acquisition order,
@@ -200,6 +229,14 @@ func (s *Slice) Pause() error {
 	case StateDraining, StateDestroyed:
 		return fmt.Errorf("core: cannot pause slice %s in state %s", s.cfg.Name, s.state)
 	}
+	if s.mig != nil {
+		// A pause lands on whichever side of the commit point the
+		// migration is: before cutover the shadow is abandoned (its
+		// handles drop from the ledger), after it the retirement
+		// completes early. Either way the slice pauses with exactly one
+		// incarnation per virtual node.
+		s.mig.finish()
+	}
 	s.prevState = s.state
 	for _, name := range s.vorder {
 		vn := s.vnodes[name]
@@ -237,6 +274,12 @@ func (s *Slice) Resume() error {
 func (s *Slice) Destroy() error {
 	if s.state == StateDestroyed {
 		return nil
+	}
+	if s.mig != nil {
+		// Resolve the in-flight migration first so teardown sees exactly
+		// one incarnation per virtual node: pre-cutover the shadow
+		// aborts, post-cutover the old instance retires now.
+		s.mig.finish()
 	}
 	s.state = StateDraining
 	v := s.vini

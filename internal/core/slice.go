@@ -45,8 +45,13 @@ type Slice struct {
 	// res is the resource ledger teardown drains in reverse order.
 	res ledger
 	// ctl tracks control-domain timers the slice owns (staggered
-	// StartOSPF closures); Destroy cancels them as a group.
+	// StartOSPF closures, migration cutover/retire); Destroy cancels
+	// them as a group.
 	ctl *sim.TimerGroup
+	// mig is the in-flight make-before-break migration, nil otherwise
+	// (one at a time per slice). Written only at control-domain
+	// barriers; the per-packet double-delivery branch reads it.
+	mig *Migration
 	// SPFDelay overrides the OSPF SPF batching delay (default 100ms;
 	// production routers use ~1s, which widens the transient-forwarding
 	// windows Figure 8's 110ms/87ms samples fall into). Set before
@@ -75,6 +80,9 @@ type VirtualLink struct {
 	physFailed bool
 	// applied is the effective fail state last pushed into Click.
 	applied bool
+	// bw is the configured shaper rate in bits/s (0 = uncapped),
+	// remembered so a migration shadow replicates the cap.
+	bw float64
 }
 
 // Name returns the slice name.
@@ -123,6 +131,9 @@ func (s *Slice) AddVirtualNode(physName string) (*VirtualNode, error) {
 	if s.state >= StateDraining {
 		return nil, fmt.Errorf("core: cannot embed slice %s in state %s", s.cfg.Name, s.state)
 	}
+	if s.mig != nil {
+		return nil, fmt.Errorf("core: cannot embed slice %s while a migration is in flight", s.cfg.Name)
+	}
 	if _, dup := s.vnodes[physName]; dup {
 		return nil, fmt.Errorf("core: slice %s already on node %s", s.cfg.Name, physName)
 	}
@@ -148,6 +159,10 @@ func (s *Slice) AddVirtualNode(physName string) (*VirtualNode, error) {
 		cpu.release()
 		return nil, err
 	}
+	// The CPU reservation heads the incarnation's handle list: a
+	// migration retire drops newest-first, releasing addresses, then the
+	// process, then the reservation.
+	vn.handles = append([]*handle{cpu}, vn.handles...)
 	s.vnodes[physName] = vn
 	s.vorder = append(s.vorder, physName)
 	if s.state == StateAdmitted {
@@ -181,6 +196,9 @@ func (s *Slice) allocSubnet() (netip.Prefix, netip.Addr, netip.Addr, error) {
 func (s *Slice) ConnectVirtual(a, b string, cost uint32) (*VirtualLink, error) {
 	if s.state >= StateDraining {
 		return nil, fmt.Errorf("core: cannot embed slice %s in state %s", s.cfg.Name, s.state)
+	}
+	if s.mig != nil {
+		return nil, fmt.Errorf("core: cannot embed slice %s while a migration is in flight", s.cfg.Name)
 	}
 	va, ok := s.vnodes[a]
 	if !ok {
@@ -274,6 +292,10 @@ func (vl *VirtualLink) Path() []string { return append([]string(nil), vl.path...
 // the Click traffic shapers on its per-tunnel chains (Section 6.2's
 // "support for setting link bandwidths"). bps <= 0 removes the cap.
 func (vl *VirtualLink) SetBandwidth(bps float64) {
+	if bps < 0 {
+		bps = 0
+	}
+	vl.bw = bps
 	v := "0"
 	if bps > 0 {
 		v = fmt.Sprintf("%f", bps)
@@ -353,8 +375,11 @@ func (s *Slice) physicalEvent(ev netem.LinkEvent) {
 	}
 }
 
-// ospfCfg builds the per-node OSPF configuration.
-func (vn *VirtualNode) startOSPF(hello, dead time.Duration) {
+// buildOSPF constructs and wires the per-node OSPF process without
+// starting it, so a migration shadow can import the old instance's
+// exported state between construction and Start.
+func (vn *VirtualNode) buildOSPF(hello, dead time.Duration) *ospf.Router {
+	vn.ospfHello, vn.ospfDead = hello, dead
 	stubs := []ospf.StubDesc{{Prefix: netip.PrefixFrom(vn.TapAddr, 32)}}
 	for _, p := range vn.extraStubs {
 		stubs = append(stubs, ospf.StubDesc{Prefix: p})
@@ -391,10 +416,15 @@ func (vn *VirtualNode) startOSPF(hello, dead time.Duration) {
 			})
 		})
 	}
-	r.Start()
+	return r
+}
+
+func (vn *VirtualNode) startOSPF(hello, dead time.Duration) {
+	vn.buildOSPF(hello, dead).Start()
 }
 
 func (vn *VirtualNode) startRIP(update time.Duration) {
+	vn.ripUpdate = update
 	stubs := []netip.Prefix{netip.PrefixFrom(vn.TapAddr, 32)}
 	stubs = append(stubs, vn.extraStubs...)
 	r := rip.New(vn.clock, rip.Config{Update: update, Stubs: stubs, Ticks: vn.ticks}, ripTransport{vn})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"time"
 
 	"vini/internal/click"
 	"vini/internal/fea"
@@ -83,6 +84,17 @@ type VirtualNode struct {
 	bgpAttached bool
 	// vpn holds per-client ingress sessions on designated nodes.
 	vpn *vpnServer
+	// egress marks a node that NATs traffic out of the overlay; its
+	// per-flow NAT table is node-local, so such nodes cannot migrate.
+	egress bool
+	// handles are this incarnation's ledger acquisitions (CPU, process,
+	// kernel address aliases) in acquisition order, so migration can
+	// retire one vnode incarnation — dropping its handles newest-first —
+	// while the slice's ledger stays live.
+	handles []*handle
+	// ospfHello/ospfDead/ripUpdate remember the routing timer
+	// configuration so a migration shadow can rebuild the processes.
+	ospfHello, ospfDead, ripUpdate time.Duration
 	// Trace taps life-of-a-packet events when set.
 	Trace func(element, event string, p *packet.Packet)
 }
@@ -95,6 +107,7 @@ const iiasConfig = `
 // and tap out. Failure injection sits on the per-tunnel chains.
 fromtap :: FromTap;
 fromtun :: FromTunnel;
+dup :: DupSuppress;
 chk :: CheckIPHeader;
 dec :: DecIPTTL;
 rt :: LookupIPRoute(NOROUTE 2);
@@ -104,7 +117,8 @@ unreach :: ICMPError(3, 0);
 totap :: ToTap;
 bad :: Discard;
 fromtap -> rt;
-fromtun -> chk;
+fromtun -> dup;
+dup -> chk;
 chk[0] -> dec;
 chk[1] -> bad;
 dec[0] -> rt;
@@ -198,10 +212,10 @@ func newVirtualNode(s *Slice, phys *netem.Node, tap netip.Addr) (*VirtualNode, e
 	}
 	// The process handle closes sockets, port ranges, tap captures, and
 	// the scheduler task at teardown.
-	s.res.acquire("proc", vn.proc.Name, func() { vn.proc.Close() })
+	vn.handles = append(vn.handles, s.res.acquire("proc", vn.proc.Name, func() { vn.proc.Close() }))
 	// The node answers for its tap address.
 	phys.AddAddr(tap)
-	s.res.acquire("addr", tap.String(), func() { phys.RemoveAddr(tap) })
+	vn.handles = append(vn.handles, s.res.acquire("addr", tap.String(), func() { phys.RemoveAddr(tap) }))
 	// Connected host route for the tap address itself.
 	vn.rib.SetRoutes("connected", fea.DistConnected, []fib.Route{
 		{Prefix: netip.PrefixFrom(tap, 32), OutPort: portTap},
@@ -273,7 +287,7 @@ func (vn *VirtualNode) addInterface(prefix netip.Prefix, local, peerAddr netip.A
 	// The node answers for its interface address; connected routes send
 	// /30 traffic to the peer via the tunnel and our own address to tap.
 	vn.phys.AddAddr(local)
-	vn.slice.res.acquire("addr", local.String(), func() { vn.phys.RemoveAddr(local) })
+	vn.handles = append(vn.handles, vn.slice.res.acquire("addr", local.String(), func() { vn.phys.RemoveAddr(local) }))
 	vn.addConnected(fib.Route{Prefix: netip.PrefixFrom(local, 32), OutPort: portTap})
 	vn.addConnected(fib.Route{Prefix: prefix.Masked(), NextHop: peerAddr, OutPort: portEncap, Metric: 1})
 	return idx, nil
@@ -352,14 +366,17 @@ func (vn *VirtualNode) tunnelReceive(p *packet.Packet) {
 		p.Release()
 		return
 	}
+	// Migration clones never reach a routing process: the original
+	// (unstamped) copy already did, so a stamped duplicate must fall
+	// through to the data path, where DupSuppress retires it.
 	switch {
-	case iip.Proto == packet.ProtoOSPF && vn.OSPF != nil:
+	case iip.Proto == packet.ProtoOSPF && vn.OSPF != nil && !p.Anno.MigClone:
 		// Control traffic: the protocol parses (and may retain) the inner
 		// slices, so the buffer stays out of the pool.
 		p.Escape()
 		vn.OSPF.Receive(idx, iip.Src, ipayload)
 		return
-	case iip.Proto == packet.ProtoUDP:
+	case iip.Proto == packet.ProtoUDP && !p.Anno.MigClone:
 		var iu packet.UDP
 		if body, err := iu.Parse(ipayload); err == nil && iu.DstPort == 520 && vn.RIP != nil {
 			p.Escape()
@@ -427,6 +444,18 @@ type tunnelTransport VirtualNode
 
 func (t *tunnelTransport) SendTunnel(e fib.EncapEntry, p *packet.Packet) {
 	vn := (*VirtualNode)(t)
+	if m := vn.slice.mig; m != nil && m.dup && e.Remote == m.fromAddr {
+		// Make-before-break window: packets bound for the migrating
+		// instance double-deliver — the original to the old address, a
+		// stamped clone to the shadow. Receivers suppress the stamp
+		// (DupSuppress), so delivery stays exactly-once whichever
+		// instance wins the cutover race. Off the window this is a
+		// single nil check, keeping the forwarding path allocation-free.
+		q := p.Clone()
+		q.Anno.MigClone = true
+		m.clones.Add(1)
+		vn.proc.SendUDPPacket(vn.slice.basePort, netip.AddrPortFrom(m.toAddr, e.Port), q, 64)
+	}
 	vn.proc.SendUDPPacket(vn.slice.basePort, netip.AddrPortFrom(e.Remote, e.Port), p, 64)
 }
 

@@ -334,6 +334,45 @@ duration 10s
 	}
 }
 
+// TestSpecRunMigrateAction: the migrate action live-migrates a transit
+// vnode onto a spare node mid-experiment, and the make-before-break
+// recipe means the ping flow crossing it never loses a packet.
+func TestSpecRunMigrateAction(t *testing.T) {
+	sp, err := ParseSpec(`
+topology line a b c d
+spare d
+slice test reservation 0.3 rt
+ospf hello 1s dead 3s
+ping a c interval 100ms
+at 3s migrate b d
+warmup 20s
+duration 8s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Spares) != 1 || sp.Spares[0] != "d" {
+		t.Fatalf("spares = %v", sp.Spares)
+	}
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range res.Log {
+		if strings.Contains(l, "migrate b -> d window opened") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("migration did not run: log = %v", res.Log)
+	}
+	p := res.Pings[0]
+	if p.LossPct != 0 {
+		t.Fatalf("loss = %.1f%% across a live migration, want 0 (make-before-break)", p.LossPct)
+	}
+}
+
 // TestShippedSpecsParseAndStarRing keeps the specs/ directory honest and
 // covers the ring and star topologies.
 func TestShippedSpecsParseAndRing(t *testing.T) {

@@ -25,10 +25,18 @@ seed 7
 	f.Add("duration")                // bare directives used to panic
 	f.Add("warmup")
 	f.Add("seed")
+	f.Add("spare")
 	f.Add("at 10s fail-virtual a")   // wrong arity
 	f.Add("ping a")                  // missing dst
 	f.Add("slice s share nope\n")
 	f.Add("udp-cbr a b rate 10Q\n")
+	// Migration action arity and argument malformations: each must
+	// parse-error, never panic.
+	f.Add("at 1s migrate")
+	f.Add("at 1s migrate a")
+	f.Add("at 1s migrate a b c")
+	f.Add("at nonsense migrate a b")
+	f.Add("topology line a b c\nspare c\nat 5s migrate b c\n")
 	f.Fuzz(func(t *testing.T, text string) {
 		sp, err := ParseSpec(text)
 		if err != nil {

@@ -30,6 +30,7 @@ import (
 //	at 34s restore-virtual denver kansas-city
 //	at 20s fail-physical denver kansas-city
 //	at 25s reembed
+//	at 28s migrate denver sunnyvale
 //	at 30s pause
 //	at 35s resume
 //	at 45s teardown
@@ -37,7 +38,10 @@ import (
 type Spec struct {
 	Topology string // "abilene" or "line <n1> <n2> ..."
 	LineVia  []string
-	Slice    core.SliceConfig
+	// Spares are topology nodes left out of the slice embedding — free
+	// substrate capacity available as live-migration targets.
+	Spares []string
+	Slice  core.SliceConfig
 	// Protocol is "ospf" or "rip".
 	Protocol    string
 	Hello, Dead time.Duration
@@ -53,8 +57,10 @@ type Spec struct {
 type Event struct {
 	At time.Duration
 	// Action is a link action (fail-virtual, restore-virtual,
-	// fail-physical, restore-physical) with A and B set, or a slice
-	// lifecycle action (pause, resume, teardown, reembed) without.
+	// fail-physical, restore-physical) with A and B set, a live
+	// migration (migrate, A = vnode, B = target physical node), or a
+	// slice lifecycle action (pause, resume, teardown, reembed)
+	// without endpoints.
 	Action string
 	A, B   string
 }
@@ -200,6 +206,11 @@ func ParseSpec(text string) (*Spec, error) {
 					return nil, fail("%s needs <a> <b>", f[2])
 				}
 				ev.A, ev.B = f[3], f[4]
+			case "migrate":
+				if len(f) != 5 {
+					return nil, fail("migrate needs <vnode> <target>")
+				}
+				ev.A, ev.B = f[3], f[4]
 			case "pause", "resume", "teardown", "reembed":
 				// Slice lifecycle actions take no endpoints.
 				if len(f) != 3 {
@@ -209,6 +220,11 @@ func ParseSpec(text string) (*Spec, error) {
 				return nil, fail("unknown action %q", f[2])
 			}
 			sp.Events = append(sp.Events, ev)
+		case "spare":
+			if len(f) < 2 {
+				return nil, fail("spare needs at least one node")
+			}
+			sp.Spares = append(sp.Spares, f[1:]...)
 		case "duration":
 			if len(f) < 2 {
 				return nil, fail("duration needs a value")
@@ -361,12 +377,24 @@ func (sp *Spec) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Spare nodes stay out of the embedding: free substrate capacity
+	// that scheduled migrate actions can move vnodes onto.
+	spare := map[string]bool{}
+	for _, n := range sp.Spares {
+		spare[n] = true
+	}
 	for _, n := range nodes {
+		if spare[n] {
+			continue
+		}
 		if _, err := s.AddVirtualNode(n); err != nil {
 			return nil, err
 		}
 	}
 	for _, l := range g.Links() {
+		if spare[l.A] || spare[l.B] {
+			continue
+		}
 		if _, err := s.ConnectVirtual(l.A, l.B, l.CostAB); err != nil {
 			return nil, err
 		}
@@ -412,6 +440,12 @@ func (sp *Spec) Run() (*Result, error) {
 					res.Log = append(res.Log, "reembed: "+err.Error())
 				} else {
 					res.Log = append(res.Log, fmt.Sprintf("reembed moved %d links", n))
+				}
+			case "migrate":
+				if m, err := s.Migrate(ev.A, ev.B, core.MigrateOptions{}); err != nil {
+					res.Log = append(res.Log, "migrate: "+err.Error())
+				} else {
+					res.Log = append(res.Log, fmt.Sprintf("migrate %s -> %s window opened", m.From(), m.To()))
 				}
 			}
 		})

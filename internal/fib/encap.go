@@ -34,6 +34,11 @@ type EncapTable struct {
 	// version increments on every mutation so per-element caches
 	// invalidate, mirroring fib.Table.
 	version atomic.Uint64
+	// aliases maps additional remote addresses onto the entry for a
+	// canonical one, so a migrating neighbor's drain-window traffic (still
+	// sourced from its old physical address) keeps demultiplexing to the
+	// right ingress tunnel after the entry's Remote has been repointed.
+	aliases map[netip.Addr]netip.Addr
 }
 
 // NewEncapTable returns an empty encapsulation table.
@@ -96,12 +101,43 @@ func (t *EncapTable) ByTunnel(tunnel int) (EncapEntry, bool) {
 
 // ByRemote resolves the public address of a physical neighbor to the
 // entry a sorted Entries() scan would find first (tunnel-ingress
-// identification without the per-packet scan).
+// identification without the per-packet scan). Addresses with no direct
+// entry fall back through the alias table.
 func (t *EncapTable) ByRemote(remote netip.Addr) (EncapEntry, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	e, ok := t.byRemote[remote]
-	return e, ok
+	if e, ok := t.byRemote[remote]; ok {
+		return e, ok
+	}
+	if canon, ok := t.aliases[remote]; ok {
+		e, ok := t.byRemote[canon]
+		return e, ok
+	}
+	return EncapEntry{}, false
+}
+
+// SetRemoteAlias makes packets sourced from alias resolve as if from
+// canonical. Migration cutover installs one per neighbor before
+// repointing the entry's Remote to the shadow's address: the old
+// instance's drain-window traffic then still identifies the same ingress
+// tunnel. Aliases survive Set/Remove reindexing; ClearRemoteAlias
+// removes one at retire.
+func (t *EncapTable) SetRemoteAlias(alias, canonical netip.Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.aliases == nil {
+		t.aliases = make(map[netip.Addr]netip.Addr)
+	}
+	t.aliases[alias] = canonical
+	t.version.Add(1)
+}
+
+// ClearRemoteAlias removes a remote alias installed by SetRemoteAlias.
+func (t *EncapTable) ClearRemoteAlias(alias netip.Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.aliases, alias)
+	t.version.Add(1)
 }
 
 // Lookup resolves a virtual next hop to its tunnel.

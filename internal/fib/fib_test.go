@@ -232,6 +232,43 @@ func TestEncapTable(t *testing.T) {
 	}
 }
 
+func TestEncapTableRemoteAliases(t *testing.T) {
+	et := NewEncapTable()
+	e := EncapEntry{NextHop: addr("10.1.1.2"), Remote: addr("198.32.154.250"), Port: 33000, Tunnel: 1}
+	et.Set(e)
+	if _, ok := et.ByRemote(addr("198.32.154.1")); ok {
+		t.Fatal("unaliased remote matched")
+	}
+	v0 := et.Version()
+	et.SetRemoteAlias(addr("198.32.154.1"), addr("198.32.154.250"))
+	if et.Version() == v0 {
+		t.Fatal("version did not change on SetRemoteAlias")
+	}
+	if got, ok := et.ByRemote(addr("198.32.154.1")); !ok || got != e {
+		t.Fatalf("alias lookup = %+v ok=%v", got, ok)
+	}
+	// The direct remote still resolves, and aliases survive reindexing.
+	et.Set(EncapEntry{NextHop: addr("10.1.1.3"), Remote: addr("198.32.154.226"), Port: 33000, Tunnel: 2})
+	if got, ok := et.ByRemote(addr("198.32.154.1")); !ok || got != e {
+		t.Fatalf("alias lost across Set: %+v ok=%v", got, ok)
+	}
+	if got, ok := et.ByRemote(addr("198.32.154.250")); !ok || got != e {
+		t.Fatalf("direct remote lookup = %+v ok=%v", got, ok)
+	}
+	// Aliases chase the canonical remote's current entry: after the
+	// migration cutover repoints Remote, the alias follows.
+	moved := EncapEntry{NextHop: addr("10.1.1.2"), Remote: addr("198.32.154.99"), Port: 33000, Tunnel: 1}
+	et.Set(moved)
+	et.SetRemoteAlias(addr("198.32.154.250"), addr("198.32.154.99"))
+	if got, ok := et.ByRemote(addr("198.32.154.250")); !ok || got != moved {
+		t.Fatalf("repointed alias lookup = %+v ok=%v", got, ok)
+	}
+	et.ClearRemoteAlias(addr("198.32.154.250"))
+	if _, ok := et.ByRemote(addr("198.32.154.250")); ok {
+		t.Fatal("cleared alias still matched")
+	}
+}
+
 func BenchmarkLookup(b *testing.B) {
 	tb := New()
 	for i := 0; i < 1000; i++ {

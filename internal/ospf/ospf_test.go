@@ -435,3 +435,98 @@ func TestAgingPurgesDeadRouterState(t *testing.T) {
 		t.Fatal("live route lost")
 	}
 }
+
+// TestStateTransferPreservesAdjacencies: exporting a router's state,
+// stopping it, and importing into a fresh instance before Start (the
+// make-before-break migration hand-off) must be invisible to peers — no
+// adjacency reset, no neighbor events, no route change.
+func TestStateTransferPreservesAdjacencies(t *testing.T) {
+	loop := sim.NewLoop(1)
+	m := newMesh(loop)
+	a := m.addRouter("a", 1, fastCfg(stub("10.0.0.1/32")))
+	b := m.addRouter("b", 2, fastCfg(stub("10.0.0.2/32")))
+	c := m.addRouter("c", 3, fastCfg(stub("10.0.0.3/32")))
+	m.connect(a, b, 1, time.Millisecond)
+	m.connect(b, c, 1, time.Millisecond)
+	m.startAll()
+	loop.Run(10 * time.Second)
+	if _, ok := a.routeTo("10.0.0.3/32"); !ok {
+		t.Fatal("no route a->c before migration")
+	}
+	routesBefore := fmt.Sprintf("%v", a.routes)
+
+	// Swap b for a fresh instance carrying b's exported state. The new
+	// instance reuses b's identity, interfaces, and pipes — only the
+	// Router object (and, in a real migration, the hosting process) is
+	// new.
+	b2 := &meshNode{m: m, name: "b", pipes: b.pipes}
+	b2.r = New(loop, fastCfg(stub("10.0.0.2/32")), b2)
+	b2.r.cfg.RouterID = 2
+	b2.r.OnRoutes(func(rs []fib.Route) { b2.routes = rs })
+	for _, ifc := range b.r.ifaces {
+		b2.r.AddInterface(*ifc)
+	}
+	for _, p := range b.pipes {
+		// Point the peers' pipes at the new instance.
+		p.peer.pipes[p.peerIf].peer = b2
+	}
+	st := b.r.ExportState()
+	b.r.Stop()
+	if err := b2.r.ImportState(st); err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	var events []string
+	a.r.OnNeighborEvent(func(iface int, id uint32, state string) {
+		events = append(events, fmt.Sprintf("a: if%d n%d %s", iface, id, state))
+	})
+	c.r.OnNeighborEvent(func(iface int, id uint32, state string) {
+		events = append(events, fmt.Sprintf("c: if%d n%d %s", iface, id, state))
+	})
+	b2.r.Start()
+	m.routers["b"] = b2
+
+	// Run well past the dead interval: peers must never notice.
+	loop.Run(loop.Now() + 15*time.Second)
+	if len(events) != 0 {
+		t.Fatalf("peers observed adjacency churn across migration: %v", events)
+	}
+	for _, n := range []*meshNode{a, c} {
+		for _, nb := range n.r.Neighbors() {
+			if nb.State != "Full" {
+				t.Fatalf("%s adjacency degraded: %+v", n.name, nb)
+			}
+		}
+	}
+	if after := fmt.Sprintf("%v", a.routes); after != routesBefore {
+		t.Fatalf("routes changed across migration:\nbefore %s\nafter  %s", routesBefore, after)
+	}
+	// The shadow must itself be Full toward both peers and forwarding.
+	if got := len(b2.r.Neighbors()); got != 2 {
+		t.Fatalf("shadow has %d neighbors, want 2", got)
+	}
+	if _, ok := b2.routeTo("10.0.0.3/32"); !ok {
+		t.Fatal("shadow has no route to c")
+	}
+}
+
+// TestImportStateRejectsMisuse: importing after Start or naming a
+// missing interface must error, not corrupt state.
+func TestImportStateRejectsMisuse(t *testing.T) {
+	loop := sim.NewLoop(1)
+	m := newMesh(loop)
+	a := m.addRouter("a", 1, fastCfg())
+	b := m.addRouter("b", 2, fastCfg())
+	m.connect(a, b, 1, time.Millisecond)
+	m.startAll()
+	loop.Run(5 * time.Second)
+	st := a.r.ExportState()
+	if err := a.r.ImportState(st); err == nil {
+		t.Fatal("ImportState after Start accepted")
+	}
+	fresh := New(loop, fastCfg(), b)
+	fresh.cfg.RouterID = 9
+	st.Neighbors = append(st.Neighbors, NeighborSnapshot{Iface: 99, ID: 7, Full: true})
+	if err := fresh.ImportState(st); err == nil {
+		t.Fatal("ImportState with unknown interface accepted")
+	}
+}

@@ -679,6 +679,80 @@ func (r *Router) Routes() []fib.Route {
 	return out
 }
 
+// NeighborSnapshot is one adjacency in an exported State.
+type NeighborSnapshot struct {
+	Iface int
+	ID    uint32
+	Addr  netip.Addr
+	Full  bool
+}
+
+// State is a transferable snapshot of a router's control-plane state:
+// the LSA sequence counter, the link-state database, and the adjacency
+// table. A migration shadow imports it before Start so its first
+// originated LSA supersedes the old instance's (Seq+1) and its first
+// hello already lists every Full neighbor — peers never observe the
+// "neighbor restarted and forgot us" transition, so no adjacency reset
+// and no route churn.
+type State struct {
+	Seq       uint32
+	LSAs      []LSA
+	Neighbors []NeighborSnapshot
+}
+
+// ExportState snapshots the router's control-plane state for transfer to
+// a migration shadow. Must run in the router's clock domain or at a
+// barrier.
+func (r *Router) ExportState() State {
+	st := State{Seq: r.mySeq, LSAs: r.LSDB()}
+	idxs := make([]int, 0, len(r.neighbors))
+	for i := range r.neighbors {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		nb := r.neighbors[i]
+		st.Neighbors = append(st.Neighbors, NeighborSnapshot{
+			Iface: i, ID: nb.id, Addr: nb.addr, Full: nb.state == nFull})
+	}
+	return st
+}
+
+// ImportState installs a transferred snapshot into a not-yet-started
+// router: the sequence counter, the LSDB (installed as of now for MaxAge
+// accounting), and the adjacencies, whose dead timers are armed fresh on
+// this router's clock. Pending-ack state is not transferred — if an LSU
+// to the old instance was in flight, the peer retransmits and the shadow
+// (holding the same-seq LSDB) acknowledges. Call between AddInterface
+// and Start; the interfaces named by the snapshot must exist.
+func (r *Router) ImportState(st State) error {
+	if r.started {
+		return fmt.Errorf("ospf: ImportState after Start")
+	}
+	r.mySeq = st.Seq
+	now := r.clock.Now()
+	for _, lsa := range st.LSAs {
+		r.lsdb[lsa.Origin] = lsa
+		r.lsdbAt[lsa.Origin] = now
+	}
+	for _, ns := range st.Neighbors {
+		ifc := r.iface(ns.Iface)
+		if ifc == nil {
+			return fmt.Errorf("ospf: ImportState: no interface with index %d", ns.Iface)
+		}
+		nb := &neighbor{id: ns.ID, addr: ns.Addr, ifc: ifc, pendingAcks: make(map[Key]LSA)}
+		if ns.Full {
+			nb.state = nFull
+		} else {
+			nb.state = nInit
+		}
+		idx := ns.Iface
+		nb.deadTimer = r.clock.Schedule(r.cfg.Dead, func() { r.neighborDead(idx, nb) })
+		r.neighbors[idx] = nb
+	}
+	return nil
+}
+
 func (r *Router) neighborByID(id uint32) *neighbor {
 	idxs := make([]int, 0, len(r.neighbors))
 	for i := range r.neighbors {

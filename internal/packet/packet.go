@@ -103,6 +103,12 @@ type Annotations struct {
 	NextHop netip.Addr
 	// Hops counts virtual-node traversals, for life-of-a-packet traces.
 	Hops int
+	// MigClone marks a duplicate sent to a migration shadow during the
+	// make-before-break cutover window. Receivers always suppress marked
+	// clones on the data path (the original, unmarked copy is the one
+	// that counts), so double-delivery can never turn into duplicate
+	// delivery. See core.Migrate and the click DupSuppress element.
+	MigClone bool
 }
 
 // New returns a packet wrapping data (not copied). The packet does not

@@ -15,8 +15,10 @@ import (
 // Layout (little-endian):
 //
 //	u32 dataLen | data | i64 Timestamp | i64 InPort | i64 SliceID |
-//	i64 Paint | i64 Hops | u8 addrKind | addr bytes
+//	i64 Paint | i64 Hops | u8 flags | u8 addrKind | addr bytes
 //
+// flags bit 0 carries the MigClone annotation; the remaining bits must
+// be zero (decoders reject them, keeping the encoding canonical).
 // addrKind is 0 (no NextHop), 4 (IPv4), or 16 (IPv6); the address bytes
 // follow in netip.Addr.As4/As16 order. Zone-qualified IPv6 addresses are
 // not representable (the simulator never produces them).
@@ -33,6 +35,11 @@ func AppendWire(dst []byte, p *Packet) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Anno.SliceID))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Anno.Paint))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Anno.Hops))
+	var flags byte
+	if p.Anno.MigClone {
+		flags |= 1
+	}
+	dst = append(dst, flags)
 	switch {
 	case !p.Anno.NextHop.IsValid():
 		dst = append(dst, 0)
@@ -61,8 +68,8 @@ func DecodeWire(b []byte) (*Packet, error) {
 		return nil, fmt.Errorf("packet wire: data length %d exceeds limit", n)
 	}
 	b = b[4:]
-	if len(b) < n+41 { // data + 5×u64 + addrKind
-		return nil, fmt.Errorf("packet wire: body truncated (%d bytes, need %d)", len(b), n+41)
+	if len(b) < n+42 { // data + 5×u64 + flags + addrKind
+		return nil, fmt.Errorf("packet wire: body truncated (%d bytes, need %d)", len(b), n+42)
 	}
 	data, rest := b[:n], b[n:]
 
@@ -79,7 +86,13 @@ func DecodeWire(b []byte) (*Packet, error) {
 	q.Anno.SliceID = int(int64(binary.LittleEndian.Uint64(rest[16:])))
 	q.Anno.Paint = int(int64(binary.LittleEndian.Uint64(rest[24:])))
 	q.Anno.Hops = int(int64(binary.LittleEndian.Uint64(rest[32:])))
-	kind, rest := rest[40], rest[41:]
+	flags := rest[40]
+	if flags&^1 != 0 {
+		q.Release()
+		return nil, fmt.Errorf("packet wire: unknown flag bits %#x", flags&^1)
+	}
+	q.Anno.MigClone = flags&1 != 0
+	kind, rest := rest[41], rest[42:]
 	switch kind {
 	case 0:
 		q.Anno.NextHop = netip.Addr{}

@@ -35,6 +35,13 @@ func TestPacketWireRoundTrip(t *testing.T) {
 			p.Anno.Hops = 255
 			return p
 		}},
+		{"migration-clone", func() *Packet {
+			p := Get()
+			copy(p.Extend(4), "dup!")
+			p.Anno.MigClone = true
+			p.Anno.SliceID = 2
+			return p
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -83,6 +90,11 @@ func TestPacketWireRejectsMalformed(t *testing.T) {
 		{"bad-addr-kind", func() []byte {
 			b := append([]byte{}, enc...)
 			b[len(b)-5] = 9 // addrKind byte for the IPv4 encoding
+			return b
+		}()},
+		{"bad-flag-bits", func() []byte {
+			b := append([]byte{}, enc...)
+			b[len(b)-6] = 0x80 // flags byte for the IPv4 encoding
 			return b
 		}()},
 	} {

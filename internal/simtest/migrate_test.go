@@ -1,0 +1,180 @@
+package simtest
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// migrateFailArtifact mirrors failArtifact for migration results.
+func migrateFailArtifact(r *MigrateResult) {
+	path := os.Getenv("SIMTEST_FAIL_FILE")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "%s\n", r)
+}
+
+// TestMigrateLossless is the headline migration property: across seeded
+// scenarios, repeated live migrations under continuous painted traffic,
+// substrate link flaps, and Pause/Resume/Destroy churn must lose no
+// in-flight packet (clean rounds), deliver no duplicates (every round),
+// keep the pool and resource ledgers balanced, and produce
+// byte-identical digests for 1-worker and 4-worker sharded execution.
+// CI runs it under -race at GOMAXPROCS 1 and 4.
+func TestMigrateLossless(t *testing.T) {
+	seeds := int64(15)
+	if testing.Short() {
+		seeds = 4
+	}
+	first := int64(1)
+	if *flagSeed >= 0 {
+		first, seeds = *flagSeed, 1
+	}
+	for s := first; s < first+seeds; s++ {
+		one, err := RunMigrate(MigrateOptions{Seed: s, Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d workers=1: harness error: %v", s, err)
+		}
+		four, err := RunMigrate(MigrateOptions{Seed: s, Workers: 4})
+		if err != nil {
+			t.Fatalf("seed %d workers=4: harness error: %v", s, err)
+		}
+		for _, r := range []*MigrateResult{one, four} {
+			if r.Failed() {
+				migrateFailArtifact(r)
+				t.Errorf("seed %d workers=%d: migration violation — replay with: go test ./internal/simtest -seed %d -run TestMigrateLossless\n%s",
+					s, r.Workers, s, r)
+			}
+			if r.Sent == 0 || r.Delivered == 0 {
+				t.Errorf("seed %d workers=%d: vacuous run (sent=%d delivered=%d)",
+					s, r.Workers, r.Sent, r.Delivered)
+			}
+			if r.Duplicates != 0 {
+				t.Errorf("seed %d workers=%d: %d duplicate deliveries", s, r.Workers, r.Duplicates)
+			}
+		}
+		if one.ScheduleDigest != four.ScheduleDigest {
+			migrateFailArtifact(four)
+			t.Errorf("seed %d: event-schedule digest diverged: workers=1 %016x, workers=4 %016x",
+				s, one.ScheduleDigest, four.ScheduleDigest)
+		}
+		if one.Digest != four.Digest {
+			migrateFailArtifact(four)
+			t.Errorf("seed %d: migration digest diverged: workers=1 %016x, workers=4 %016x",
+				s, one.Digest, four.Digest)
+		}
+		if one.TelemetryDigest != four.TelemetryDigest {
+			t.Errorf("seed %d: telemetry digest diverged: workers=1 %016x, workers=4 %016x",
+				s, one.TelemetryDigest, four.TelemetryDigest)
+		}
+		if one.FlightDigest != four.FlightDigest {
+			t.Errorf("seed %d: flight digest diverged: workers=1 %016x, workers=4 %016x",
+				s, one.FlightDigest, four.FlightDigest)
+		}
+		if one.Telemetry != four.Telemetry {
+			t.Errorf("seed %d: telemetry JSON not byte-identical (lens %d vs %d)",
+				s, len(one.Telemetry), len(four.Telemetry))
+		}
+		// The tentpole demands 1/2/4 parity; a 2-worker spot check on the
+		// first seeds keeps the full sweep affordable.
+		if s < first+2 {
+			two, err := RunMigrate(MigrateOptions{Seed: s, Workers: 2})
+			if err != nil {
+				t.Fatalf("seed %d workers=2: harness error: %v", s, err)
+			}
+			if two.Digest != one.Digest || two.ScheduleDigest != one.ScheduleDigest {
+				t.Errorf("seed %d: 2-worker run diverged: digest %016x vs %016x",
+					s, two.Digest, one.Digest)
+			}
+		}
+		if testing.Verbose() {
+			t.Logf("seed %d: nodes=%d sent=%d delivered=%d digest=%016x",
+				s, one.Nodes, one.Sent, one.Delivered, one.Digest)
+		}
+	}
+}
+
+// TestMigrateClassic runs the regime on the classic single-timeline
+// engine (Workers=0), a different deterministic baseline.
+func TestMigrateClassic(t *testing.T) {
+	seeds := int64(6)
+	if testing.Short() {
+		seeds = 2
+	}
+	first := int64(1)
+	if *flagSeed >= 0 {
+		first, seeds = *flagSeed, 1
+	}
+	for s := first; s < first+seeds; s++ {
+		r, err := RunMigrate(MigrateOptions{Seed: s})
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", s, err)
+		}
+		if r.Failed() {
+			migrateFailArtifact(r)
+			t.Errorf("seed %d: migration violation — replay with: go test ./internal/simtest -seed %d -run TestMigrateClassic\n%s",
+				s, s, r)
+		}
+	}
+}
+
+// TestMigrateReplayDeterminism: the same migration seed run twice must
+// match in every digest.
+func TestMigrateReplayDeterminism(t *testing.T) {
+	for s := int64(1); s <= 3; s++ {
+		a, err := RunMigrate(MigrateOptions{Seed: s})
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		b, err := RunMigrate(MigrateOptions{Seed: s})
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		if a.Digest != b.Digest || a.TelemetryDigest != b.TelemetryDigest ||
+			a.FlightDigest != b.FlightDigest {
+			t.Errorf("seed %d: migration replay diverged: digest %016x vs %016x",
+				s, a.Digest, b.Digest)
+		}
+	}
+}
+
+// TestMigrateMutationSuppressionChecker proves the exactly-once checker
+// has teeth: sabotaging the shadow's duplicate suppression must surface
+// window clones as duplicate deliveries and fail the run. (The same
+// mutation discipline PR 2 applied to the original invariant checkers.)
+func TestMigrateMutationSuppressionChecker(t *testing.T) {
+	clean, err := RunMigrate(MigrateOptions{Seed: 1})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if clean.Failed() {
+		t.Fatalf("clean run must pass before the mutation means anything:\n%s", clean)
+	}
+	broken, err := RunMigrate(MigrateOptions{Seed: 1, Sabotage: true})
+	if err != nil {
+		t.Fatalf("sabotaged run: %v", err)
+	}
+	if !broken.Failed() {
+		t.Fatalf("suppression disabled but no violation reported — the duplicate checker is toothless:\n%s", broken)
+	}
+	if broken.Duplicates == 0 {
+		t.Errorf("sabotaged run reported violations but counted no duplicates:\n%s", broken)
+	}
+	found := false
+	for _, v := range broken.Violations {
+		if strings.Contains(v, "delivered") && strings.Contains(v, "times") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("sabotaged run failed for the wrong reason:\n%s", broken)
+	}
+}
