@@ -65,4 +65,12 @@ func main() {
 		fmt.Printf("udp-cbr %s -> %s: loss %.2f%%, jitter %.3f ms\n",
 			c.Src, c.Dst, c.LossPct, c.JitterMs)
 	}
+	for _, a := range res.Adaptives {
+		fmt.Printf("adaptive %s -> %s: estimate %.0f kb/s, %d sent, %d received\n",
+			a.Src, a.Dst, a.EstimateBps/1e3, a.Sent, a.Received)
+		for _, pt := range a.Trace {
+			fmt.Printf("  t=%6.1fs estimate %8.0f kb/s actual %8.0f kb/s\n",
+				pt.T, pt.EstimateBps/1e3, pt.ActualBps/1e3)
+		}
+	}
 }

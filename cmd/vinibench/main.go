@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest|parallel|telemetry|churn|migrate|scale] [-seed N] [-short] [-parallel N] [-slices N] [-nodes N] [-topo F -demands F] [-v]
+//	vinibench [-exp all|table2|table3|table4|table5|table6|fig6|fig7|fig8|fig9|ablation|fastpath|simtest|parallel|telemetry|churn|migrate|scale|adaptive] [-seed N] [-short] [-parallel N] [-slices N] [-nodes N] [-topo F -demands F] [-v]
 package main
 
 import (
@@ -31,7 +31,7 @@ var (
 	seedFlag     = flag.Int64("seed", 2, "simulation seed")
 	short        = flag.Bool("short", false, "shorter measurement windows")
 	parallelFlag = flag.Int("parallel", 4, "max worker count for the parallel-executor benchmark")
-	baselineFlag = flag.String("baseline", "", "path to a prior BENCH_parallel.json (or BENCH_scale.json for -exp scale); the experiment fails if the max-worker events/sec regresses more than 15% below it")
+	baselineFlag = flag.String("baseline", "", "path to a prior BENCH_parallel.json (or BENCH_scale.json / BENCH_adaptive.json for -exp scale / adaptive); the experiment fails if the max-worker events/sec regresses more than 15% below it")
 	verbose      = flag.Bool("v", false, "print per-domain event counters in the parallel experiment")
 	scaleSlices  = flag.Int("slices", 500, "concurrent slice count for the scale experiment")
 	scaleNodes   = flag.Int("nodes", 64, "synthetic substrate size for the scale experiment")
@@ -69,6 +69,7 @@ func main() {
 	run("churn", churnExp)
 	run("migrate", migrateExp)
 	run("scale", scaleExp)
+	run("adaptive", adaptiveExp)
 }
 
 // telemetryExp reruns the Figure 8 failure scenario with the telemetry

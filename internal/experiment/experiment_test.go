@@ -485,3 +485,80 @@ duration 18s
 		}
 	}
 }
+
+// TestSpecRunAdaptiveFlow: the adaptive traffic kind runs the
+// delay-gradient controller over the overlay; the estimate must move
+// off its initial rate and the trace must record the updates.
+func TestSpecRunAdaptiveFlow(t *testing.T) {
+	sp, err := ParseSpec(`
+topology line a b c
+slice test reservation 0.3 rt
+ospf hello 1s dead 3s
+adaptive a c rate 200k
+warmup 20s
+duration 15s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Traffic) != 1 || sp.Traffic[0].Kind != "adaptive" {
+		t.Fatalf("traffic = %+v", sp.Traffic)
+	}
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Adaptives) != 1 {
+		t.Fatalf("adaptives = %d", len(res.Adaptives))
+	}
+	a := res.Adaptives[0]
+	if a.Sent == 0 || a.Received == 0 {
+		t.Fatalf("vacuous adaptive run: sent=%d received=%d", a.Sent, a.Received)
+	}
+	if len(a.Trace) == 0 {
+		t.Fatal("controller produced no trace")
+	}
+	// On an uncongested gigabit path the estimate must have climbed well
+	// above the 200 kb/s starting rate within 15 s of additive increase.
+	if a.EstimateBps <= 400_000 {
+		t.Fatalf("estimate never climbed: %.0f", a.EstimateBps)
+	}
+}
+
+// TestSpecRunRateAction: a scheduled rate action retunes a udp-cbr
+// flow's RateController mid-run through the workload runtime's seam.
+func TestSpecRunRateAction(t *testing.T) {
+	sp, err := ParseSpec(`
+topology line a b c
+slice test reservation 0.3 rt
+ospf hello 1s dead 3s
+udp-cbr a c rate 200k
+at 3s rate a c 4M
+at 5s rate a nobody 1M
+warmup 20s
+duration 10s
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CBRs) != 1 {
+		t.Fatalf("cbrs = %d", len(res.CBRs))
+	}
+	// 200 kb/s for 3 s then 4 Mb/s for 7 s ≈ 2450 datagrams; the
+	// un-retargeted baseline would send ~170. Anything past 1000 proves
+	// the retune took effect.
+	if res.CBRs[0].Sent < 1000 {
+		t.Fatalf("sent = %d, rate action never took effect", res.CBRs[0].Sent)
+	}
+	var sawMiss bool
+	for _, l := range res.Log {
+		sawMiss = sawMiss || strings.Contains(l, "no udp-cbr flow")
+	}
+	if !sawMiss {
+		t.Fatalf("missing-flow rate action not logged: %v", res.Log)
+	}
+}

@@ -37,6 +37,15 @@ seed 7
 	f.Add("at 1s migrate a b c")
 	f.Add("at nonsense migrate a b")
 	f.Add("topology line a b c\nspare c\nat 5s migrate b c\n")
+	// Adaptive flows and runtime rate retargets: arity and rate-syntax
+	// malformations must parse-error, never panic.
+	f.Add("topology line a b\nadaptive a b rate 200k\nat 5s rate a b 2M\n")
+	f.Add("adaptive a")
+	f.Add("adaptive a b rate bogus")
+	f.Add("at 1s rate")
+	f.Add("at 1s rate a b")
+	f.Add("at 1s rate a b 10Q")
+	f.Add("at 1s rate a b 1M extra")
 	f.Fuzz(func(t *testing.T, text string) {
 		sp, err := ParseSpec(text)
 		if err != nil {

@@ -26,6 +26,8 @@ import (
 //	ping washington seattle interval 200ms
 //	iperf-tcp washington seattle window 16384
 //	udp-cbr washington seattle rate 10M
+//	adaptive washington seattle rate 200k
+//	at 12s rate washington seattle 4M
 //	at 10s fail-virtual denver kansas-city
 //	at 34s restore-virtual denver kansas-city
 //	at 20s fail-physical denver kansas-city
@@ -58,16 +60,19 @@ type Event struct {
 	At time.Duration
 	// Action is a link action (fail-virtual, restore-virtual,
 	// fail-physical, restore-physical) with A and B set, a live
-	// migration (migrate, A = vnode, B = target physical node), or a
+	// migration (migrate, A = vnode, B = target physical node), a
 	// slice lifecycle action (pause, resume, teardown, reembed)
-	// without endpoints.
+	// without endpoints, or a traffic retarget (rate, A/B name a
+	// udp-cbr flow's endpoints and Rate is the new bits/s).
 	Action string
 	A, B   string
+	// Rate is the new target for a rate action, bits/s.
+	Rate float64
 }
 
 // TrafficSpec is one measurement flow.
 type TrafficSpec struct {
-	Kind     string // ping, iperf-tcp, udp-cbr
+	Kind     string // ping, iperf-tcp, udp-cbr, adaptive
 	Src, Dst string
 	Interval time.Duration
 	Window   int
@@ -153,7 +158,7 @@ func ParseSpec(text string) (*Spec, error) {
 				"update": &sp.RIPUpdate}); err != nil {
 				return nil, fail("%v", err)
 			}
-		case "ping", "iperf-tcp", "udp-cbr":
+		case "ping", "iperf-tcp", "udp-cbr", "adaptive":
 			if len(f) < 3 {
 				return nil, fail("%s needs src and dst", f[0])
 			}
@@ -192,8 +197,8 @@ func ParseSpec(text string) (*Spec, error) {
 			}
 			sp.Traffic = append(sp.Traffic, ts)
 		case "at":
-			if len(f) != 5 && len(f) != 3 {
-				return nil, fail("at <time> <action> [<a> <b>]")
+			if len(f) < 3 || len(f) > 6 {
+				return nil, fail("at <time> <action> [<a> <b> [<rate>]]")
 			}
 			d, err := time.ParseDuration(f[1])
 			if err != nil {
@@ -201,6 +206,16 @@ func ParseSpec(text string) (*Spec, error) {
 			}
 			ev := Event{At: d, Action: f[2]}
 			switch f[2] {
+			case "rate":
+				if len(f) != 6 {
+					return nil, fail("rate needs <src> <dst> <rate>")
+				}
+				ev.A, ev.B = f[3], f[4]
+				r, err := parseRate(f[5])
+				if err != nil {
+					return nil, fail("bad rate %q", f[5])
+				}
+				ev.Rate = r
 			case "fail-virtual", "restore-virtual", "fail-physical", "restore-physical":
 				if len(f) != 5 {
 					return nil, fail("%s needs <a> <b>", f[2])
@@ -297,9 +312,10 @@ func parseRate(s string) (float64, error) {
 
 // Result collects a run's measurements.
 type Result struct {
-	Pings []PingRun
-	TCPs  []TCPRun
-	CBRs  []CBRRun
+	Pings     []PingRun
+	TCPs      []TCPRun
+	CBRs      []CBRRun
+	Adaptives []AdaptiveRun
 	// Log records event applications.
 	Log []string
 }
@@ -323,6 +339,25 @@ type CBRRun struct {
 	Src, Dst string
 	LossPct  float64
 	JitterMs float64
+	Sent     uint32
+	Received uint32
+}
+
+// AdaptiveRun is the outcome of one adaptive flow: the final bandwidth
+// estimate and the estimate-vs-actual controller trace.
+type AdaptiveRun struct {
+	Src, Dst    string
+	EstimateBps float64
+	Sent        uint32
+	Received    uint64
+	Trace       []RateTracePoint
+}
+
+// RateTracePoint is one controller update, relative to traffic start.
+type RateTracePoint struct {
+	T           float64 // seconds since traffic start
+	EstimateBps float64
+	ActualBps   float64
 }
 
 // Run executes the specification and returns its measurements.
@@ -408,6 +443,10 @@ func (sp *Spec) Run() (*Result, error) {
 	v.Run(sp.Warmup)
 	t0 := v.Loop().Now()
 	res := &Result{}
+	// rateTargets lets scheduled rate actions retune a udp-cbr flow's
+	// RateController at runtime; populated when traffic starts (before
+	// any event can fire).
+	rateTargets := map[string]*traffic.UDPCBR{}
 	// Schedule events.
 	for _, ev := range sp.Events {
 		ev := ev
@@ -447,6 +486,14 @@ func (sp *Spec) Run() (*Result, error) {
 				} else {
 					res.Log = append(res.Log, fmt.Sprintf("migrate %s -> %s window opened", m.From(), m.To()))
 				}
+			case "rate":
+				if c, ok := rateTargets[ev.A+" "+ev.B]; ok {
+					if fr, ok := c.Controller().(*traffic.FixedRate); ok {
+						fr.Set(ev.Rate)
+					}
+				} else {
+					res.Log = append(res.Log, fmt.Sprintf("rate: no udp-cbr flow %s -> %s", ev.A, ev.B))
+				}
 			}
 		})
 	}
@@ -463,9 +510,14 @@ func (sp *Spec) Run() (*Result, error) {
 		ts TrafficSpec
 		c  *traffic.UDPCBR
 	}
+	type adaptiveHandle struct {
+		ts TrafficSpec
+		a  *traffic.Adaptive
+	}
 	var pings []pingHandle
 	var tcps []tcpHandle
 	var cbrs []cbrHandle
+	var adaptives []adaptiveHandle
 	hosts := map[string]*traffic.ICMPHost{}
 	hostFor := func(n *netem.Node) *traffic.ICMPHost {
 		if h, ok := hosts[n.Name()]; ok {
@@ -508,7 +560,17 @@ func (sp *Spec) Run() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			rateTargets[ts.Src+" "+ts.Dst] = c
 			cbrs = append(cbrs, cbrHandle{ts, c})
+		case "adaptive":
+			a, err := traffic.StartAdaptive(v.Net, src.Phys(), dst.Phys(), traffic.AdaptiveConfig{
+				InitBps: ts.RateBps, SrcAddr: src.TapAddr, DstAddr: dst.TapAddr,
+				Port:      uint16(7001 + 100*len(adaptives)),
+				Telemetry: v.Telemetry()})
+			if err != nil {
+				return nil, err
+			}
+			adaptives = append(adaptives, adaptiveHandle{ts, a})
 		}
 	}
 	v.Run(t0 + sp.Duration)
@@ -517,6 +579,9 @@ func (sp *Spec) Run() (*Result, error) {
 	}
 	for _, h := range cbrs {
 		h.c.Stop()
+	}
+	for _, h := range adaptives {
+		h.a.Stop()
 	}
 	v.Run(t0 + sp.Duration + 3*time.Second)
 	// Collect.
@@ -544,7 +609,17 @@ func (sp *Spec) Run() (*Result, error) {
 	}
 	for _, h := range cbrs {
 		res.CBRs = append(res.CBRs, CBRRun{Src: h.ts.Src, Dst: h.ts.Dst,
-			LossPct: 100 * h.c.LossRate(), JitterMs: h.c.Jitter()})
+			LossPct: 100 * h.c.LossRate(), JitterMs: h.c.Jitter(),
+			Sent: h.c.Sent(), Received: h.c.Received()})
+	}
+	for _, h := range adaptives {
+		ar := AdaptiveRun{Src: h.ts.Src, Dst: h.ts.Dst,
+			EstimateBps: h.a.EstimateBps(), Sent: h.a.Sent(), Received: h.a.Received()}
+		for _, pt := range h.a.Trace {
+			ar.Trace = append(ar.Trace, RateTracePoint{
+				T: (pt.At - t0).Seconds(), EstimateBps: pt.EstimateBps, ActualBps: pt.ActualBps})
+		}
+		res.Adaptives = append(res.Adaptives, ar)
 	}
 	return res, nil
 }

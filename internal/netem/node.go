@@ -164,8 +164,27 @@ func (n *Node) StackListenUDP(port uint16, h StackHandler) error {
 	return nil
 }
 
+// StackUnlistenUDP releases a kernel-resident UDP listener. Releasing a
+// port that is not listened is a no-op. Packets already in flight to the
+// port take the normal unlistened path (ICMP port unreachable).
+func (n *Node) StackUnlistenUDP(port uint16) { delete(n.stackUDP, port) }
+
 // StackListenICMP registers the local ICMP consumer.
 func (n *Node) StackListenICMP(h StackHandler) { n.icmpTap = h }
+
+// StackUnlistenICMP detaches the local ICMP consumer.
+func (n *Node) StackUnlistenICMP() { n.icmpTap = nil }
+
+// StackListeners counts live kernel-resident registrations (UDP and TCP
+// ports, plus one for an attached ICMP tap). Workload-teardown audits
+// check it returns to its pre-workload value after Close.
+func (n *Node) StackListeners() int {
+	c := len(n.stackUDP) + len(n.stackTCP)
+	if n.icmpTap != nil {
+		c++
+	}
+	return c
+}
 
 // StackListenTCP registers a kernel-resident TCP endpoint on port. The
 // handler receives whole IP datagrams; internal/tcpm implements the
@@ -177,6 +196,10 @@ func (n *Node) StackListenTCP(port uint16, h StackHandler) error {
 	n.stackTCP[port] = h
 	return nil
 }
+
+// StackUnlistenTCP releases a kernel-resident TCP endpoint. Releasing a
+// port that is not listened is a no-op.
+func (n *Node) StackUnlistenTCP(port uint16) { delete(n.stackTCP, port) }
 
 // InjectLocal delivers a datagram to this node's local consumers as if it
 // had arrived addressed to the node — the path Click's ToTap element uses

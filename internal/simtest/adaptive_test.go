@@ -1,0 +1,183 @@
+package simtest
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// adaptiveFailArtifact mirrors failArtifact for adaptive results.
+func adaptiveFailArtifact(r *AdaptiveResult) {
+	path := os.Getenv("SIMTEST_FAIL_FILE")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "%s\n", r)
+}
+
+// TestAdaptiveConverges is the headline adaptive-controller property:
+// across seeded scenarios the delay-gradient estimator must converge
+// into the band around the true available bandwidth after every
+// quiescent point — alone, against CBR cross-traffic, across overlay
+// Pause/Resume churn, and through a substrate reroute onto a slower
+// path — never run away above the bottleneck, leave balanced pool and
+// endpoint ledgers, and produce byte-identical digests for 1-worker
+// and 4-worker sharded execution. CI runs it under -race at
+// GOMAXPROCS 1 and 4.
+func TestAdaptiveConverges(t *testing.T) {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 3
+	}
+	first := int64(1)
+	if *flagSeed >= 0 {
+		first, seeds = *flagSeed, 1
+	}
+	for s := first; s < first+seeds; s++ {
+		one, err := RunAdaptive(AdaptiveOptions{Seed: s, Workers: 1})
+		if err != nil {
+			t.Fatalf("seed %d workers=1: harness error: %v", s, err)
+		}
+		four, err := RunAdaptive(AdaptiveOptions{Seed: s, Workers: 4})
+		if err != nil {
+			t.Fatalf("seed %d workers=4: harness error: %v", s, err)
+		}
+		for _, r := range []*AdaptiveResult{one, four} {
+			if r.Failed() {
+				adaptiveFailArtifact(r)
+				t.Errorf("seed %d workers=%d: adaptive violation — replay with: go test ./internal/simtest -seed %d -run TestAdaptiveConverges\n%s",
+					s, r.Workers, s, r)
+			}
+			if len(r.Phases) != 6 {
+				t.Errorf("seed %d workers=%d: %d phases measured, want 6", s, r.Workers, len(r.Phases))
+			}
+			if r.TracePoints == 0 {
+				t.Errorf("seed %d workers=%d: vacuous run (no controller trace)", s, r.Workers)
+			}
+		}
+		if one.ScheduleDigest != four.ScheduleDigest {
+			adaptiveFailArtifact(four)
+			t.Errorf("seed %d: event-schedule digest diverged: workers=1 %016x, workers=4 %016x",
+				s, one.ScheduleDigest, four.ScheduleDigest)
+		}
+		if one.Digest != four.Digest {
+			adaptiveFailArtifact(four)
+			t.Errorf("seed %d: adaptive digest diverged: workers=1 %016x, workers=4 %016x",
+				s, one.Digest, four.Digest)
+		}
+		if one.TelemetryDigest != four.TelemetryDigest {
+			t.Errorf("seed %d: telemetry digest diverged: workers=1 %016x, workers=4 %016x",
+				s, one.TelemetryDigest, four.TelemetryDigest)
+		}
+		if one.FlightDigest != four.FlightDigest {
+			t.Errorf("seed %d: flight digest diverged: workers=1 %016x, workers=4 %016x",
+				s, one.FlightDigest, four.FlightDigest)
+		}
+		if one.Telemetry != four.Telemetry {
+			t.Errorf("seed %d: telemetry JSON not byte-identical (lens %d vs %d)",
+				s, len(one.Telemetry), len(four.Telemetry))
+		}
+		// The tentpole demands 1/2/4 parity; a 2-worker spot check on the
+		// first seeds keeps the full sweep affordable.
+		if s < first+2 {
+			two, err := RunAdaptive(AdaptiveOptions{Seed: s, Workers: 2})
+			if err != nil {
+				t.Fatalf("seed %d workers=2: harness error: %v", s, err)
+			}
+			if two.Digest != one.Digest || two.ScheduleDigest != one.ScheduleDigest {
+				t.Errorf("seed %d: 2-worker run diverged: digest %016x vs %016x",
+					s, two.Digest, one.Digest)
+			}
+		}
+		if testing.Verbose() {
+			t.Logf("seed %d: bottleneck=%.0f trace=%d digest=%016x",
+				s, one.BottleneckBps, one.TracePoints, one.Digest)
+		}
+	}
+}
+
+// TestAdaptiveClassic runs the regime on the classic single-timeline
+// engine (Workers=0), a different deterministic baseline.
+func TestAdaptiveClassic(t *testing.T) {
+	seeds := int64(5)
+	if testing.Short() {
+		seeds = 2
+	}
+	first := int64(1)
+	if *flagSeed >= 0 {
+		first, seeds = *flagSeed, 1
+	}
+	for s := first; s < first+seeds; s++ {
+		r, err := RunAdaptive(AdaptiveOptions{Seed: s})
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", s, err)
+		}
+		if r.Failed() {
+			adaptiveFailArtifact(r)
+			t.Errorf("seed %d: adaptive violation — replay with: go test ./internal/simtest -seed %d -run TestAdaptiveClassic\n%s",
+				s, s, r)
+		}
+	}
+}
+
+// TestAdaptiveReplayDeterminism: the same adaptive seed run twice must
+// match in every digest — the controller's float state is a fixed
+// IEEE-754 op sequence over simulated time, nothing else.
+func TestAdaptiveReplayDeterminism(t *testing.T) {
+	for s := int64(1); s <= 3; s++ {
+		a, err := RunAdaptive(AdaptiveOptions{Seed: s})
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		b, err := RunAdaptive(AdaptiveOptions{Seed: s})
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		if a.Digest != b.Digest || a.TelemetryDigest != b.TelemetryDigest ||
+			a.FlightDigest != b.FlightDigest {
+			t.Errorf("seed %d: adaptive replay diverged: digest %016x vs %016x",
+				s, a.Digest, b.Digest)
+		}
+	}
+}
+
+// TestAdaptiveMutationOveruseDetector proves the convergence invariant
+// has teeth: disabling the controller's over-use detector must blow the
+// estimate through the convergence band and trip the no-runaway audit.
+func TestAdaptiveMutationOveruseDetector(t *testing.T) {
+	clean, err := RunAdaptive(AdaptiveOptions{Seed: 1})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if clean.Failed() {
+		t.Fatalf("clean run must pass before the mutation means anything:\n%s", clean)
+	}
+	broken, err := RunAdaptive(AdaptiveOptions{Seed: 1, DisableOveruse: true})
+	if err != nil {
+		t.Fatalf("sabotaged run: %v", err)
+	}
+	if !broken.Failed() {
+		t.Fatalf("over-use detector disabled but no violation reported — the convergence checker is toothless:\n%s", broken)
+	}
+	convergence, runaway := false, false
+	for _, v := range broken.Violations {
+		if strings.Contains(v, "outside") {
+			convergence = true
+		}
+		if strings.Contains(v, "runaway") {
+			runaway = true
+		}
+	}
+	if !convergence {
+		t.Errorf("sabotaged run never tripped the convergence band:\n%s", broken)
+	}
+	if !runaway {
+		t.Errorf("sabotaged run never tripped the no-runaway audit:\n%s", broken)
+	}
+}

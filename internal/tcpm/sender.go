@@ -21,8 +21,7 @@ type Sender struct {
 	isn         uint32
 	sndUna      uint32 // oldest unacknowledged
 	sndNxt      uint32 // next to send
-	cwnd        float64
-	ssthresh    float64
+	cc          Congestion
 	rwnd        int
 	dupAcks     int
 	inRecovery  bool
@@ -56,8 +55,12 @@ func NewSender(clock sim.Clock, cfg Config, local netip.Addr, port uint16,
 		state: "idle",
 		rto:   time.Second,
 		rwnd:  cfg.RcvWnd,
+		cc:    NewReno(cfg),
 	}
 }
+
+// SetCongestion swaps the congestion controller (before Start).
+func (s *Sender) SetCongestion(c Congestion) { s.cc = c }
 
 // OnDone registers a completion callback for bounded transfers.
 func (s *Sender) OnDone(fn func()) { s.onDone = fn }
@@ -69,8 +72,7 @@ func (s *Sender) Start(total uint64) {
 	s.isn = 0
 	s.sndUna = s.isn
 	s.sndNxt = s.isn
-	s.cwnd = float64(2 * s.cfg.MSS)
-	s.ssthresh = float64(s.cfg.InitialSsthresh)
+	s.cc.Open()
 	s.sendSeg(packet.TCPSyn, s.sndNxt, nil)
 	s.sndNxt++
 	s.armRTO()
@@ -93,7 +95,7 @@ func (s *Sender) Acked() uint64 {
 }
 
 // Cwnd returns the current congestion window in bytes.
-func (s *Sender) Cwnd() int { return int(s.cwnd) }
+func (s *Sender) Cwnd() int { return int(s.cc.Window()) }
 
 // Deliver feeds an incoming IP datagram (ACKs from the receiver).
 func (s *Sender) Deliver(dgram []byte) {
@@ -143,23 +145,16 @@ func (s *Sender) handleAck(ack uint32) {
 			if !seqAfter(s.recoverSeq, ack) {
 				// Full recovery: deflate.
 				s.inRecovery = false
-				s.cwnd = s.ssthresh
+				s.cc.ExitRecovery()
 				s.dupAcks = 0
 			} else {
 				// Partial ACK: retransmit next hole immediately.
 				s.retransmitFirst()
-				s.cwnd -= float64(acked)
-				if s.cwnd < float64(s.cfg.MSS) {
-					s.cwnd = float64(s.cfg.MSS)
-				}
+				s.cc.OnPartialAck(float64(acked))
 			}
 		} else {
 			s.dupAcks = 0
-			if s.cwnd < s.ssthresh {
-				s.cwnd += float64(s.cfg.MSS) // slow start
-			} else {
-				s.cwnd += float64(s.cfg.MSS) * float64(s.cfg.MSS) / s.cwnd
-			}
+			s.cc.OnNewAck()
 		}
 		if s.done() {
 			s.state = "done"
@@ -175,12 +170,11 @@ func (s *Sender) handleAck(ack uint32) {
 		s.dupAcks++
 		if s.inRecovery {
 			// Window inflation during recovery.
-			s.cwnd += float64(s.cfg.MSS)
+			s.cc.OnDupAckInRecovery()
 			s.pump()
 		} else if s.dupAcks == 3 {
 			// Fast retransmit.
-			s.ssthresh = max64(s.inflightF()/2, float64(2*s.cfg.MSS))
-			s.cwnd = s.ssthresh + 3*float64(s.cfg.MSS)
+			s.cc.EnterRecovery(s.inflightF())
 			s.inRecovery = true
 			s.recoverSeq = s.sndNxt
 			s.retransmitFirst()
@@ -213,10 +207,10 @@ func (s *Sender) pump() {
 	if s.inflight() == 0 && s.lastSend != 0 && now-s.lastSend > s.rto {
 		// Slow-start restart (Figure 9(b)): the connection idled through
 		// the outage; restart from a small window.
-		s.cwnd = float64(2 * s.cfg.MSS)
+		s.cc.OnIdleRestart()
 	}
 	for {
-		wnd := int(s.cwnd)
+		wnd := int(s.cc.Window())
 		if s.rwnd < wnd {
 			wnd = s.rwnd
 		}
@@ -320,8 +314,7 @@ func (s *Sender) onRTO() {
 		return // nothing outstanding; timer was stale
 	}
 	// Timeout: collapse to one segment and re-enter slow start.
-	s.ssthresh = max64(s.inflightF()/2, float64(2*s.cfg.MSS))
-	s.cwnd = float64(s.cfg.MSS)
+	s.cc.OnTimeout(s.inflightF())
 	s.inRecovery = false
 	s.dupAcks = 0
 	s.backoff++

@@ -93,6 +93,17 @@ func NewReceiver(clock sim.Clock, cfg Config, local netip.Addr, port uint16, out
 		ooo: make(map[uint32]int)}
 }
 
+// Close cancels the receiver's pending delayed-ACK timer so workload
+// teardown leaves the domain heap clean (the owning endpoint releases
+// the port registration separately).
+func (r *Receiver) Close() {
+	if !r.ackTimer.IsZero() {
+		r.ackTimer.Stop()
+		r.ackTimer = sim.Timer{}
+	}
+	r.ackPending = false
+}
+
 // Deliver feeds an incoming IP datagram addressed to the receiver.
 func (r *Receiver) Deliver(dgram []byte) {
 	var ip packet.IPv4

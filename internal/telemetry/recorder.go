@@ -17,6 +17,7 @@ const (
 	EvLink                          // physical or virtual link state change
 	EvSession                       // BGP session event / RIP advertisement
 	EvMark                          // free-form experiment marker
+	EvRate                          // adaptive-workload rate/detector update
 )
 
 func (k EventKind) String() string {
@@ -33,6 +34,8 @@ func (k EventKind) String() string {
 		return "session"
 	case EvMark:
 		return "mark"
+	case EvRate:
+		return "rate"
 	default:
 		return "unknown"
 	}

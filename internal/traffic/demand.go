@@ -100,10 +100,24 @@ func StartDemands(w *netem.Network, m *topology.DemandMatrix, ep DemandEndpoint,
 	return out, nil
 }
 
+// Start resumes every sender (the constructor already started them).
+func (s *DemandFlows) Start() {
+	for _, f := range s.Flows {
+		f.Start()
+	}
+}
+
 // Stop halts every sender.
 func (s *DemandFlows) Stop() {
 	for _, f := range s.Flows {
 		f.Stop()
+	}
+}
+
+// Close halts every sender and releases every receiver registration.
+func (s *DemandFlows) Close() {
+	for _, f := range s.Flows {
+		f.Close()
 	}
 }
 

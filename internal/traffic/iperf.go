@@ -29,6 +29,10 @@ type IperfTCP struct {
 	loop      *sim.Loop
 	senders   []*tcpm.Sender
 	receivers []*tcpm.Receiver
+	clientEP  *Endpoint
+	serverEP  *Endpoint
+	running   bool
+	closed    bool
 	started   time.Duration
 	stoppedAt time.Duration
 }
@@ -52,7 +56,8 @@ func StartIperfTCP(w *netem.Network, client, server *netem.Node, cfg IperfTCPCon
 		dst = cfg.DstAddr
 	}
 	loop := w.Loop()
-	t := &IperfTCP{loop: loop, started: loop.Now()}
+	t := &IperfTCP{loop: loop, started: loop.Now(),
+		clientEP: NewEndpoint(client), serverEP: NewEndpoint(server)}
 	tcpCfg := tcpm.Config{MSS: cfg.MSS, RcvWnd: cfg.Window}
 	for i := 0; i < cfg.Streams; i++ {
 		sport := cfg.BasePort + uint16(i) + 1000
@@ -60,26 +65,62 @@ func StartIperfTCP(w *netem.Network, client, server *netem.Node, cfg IperfTCPCon
 		// Each endpoint's protocol machine runs on its own node's
 		// domain clock (identical to the loop in classic mode).
 		rcv := tcpm.NewReceiver(server.Clock(), tcpCfg, dst, dport, server.StackSend)
-		if err := server.StackListenTCP(dport, rcv.Deliver); err != nil {
+		if err := t.serverEP.ListenTCP(dport, rcv.Deliver); err != nil {
+			t.Close()
 			return nil, err
 		}
 		snd := tcpm.NewSender(client.Clock(), tcpCfg, src, sport, dst, dport, client.StackSend)
-		if err := client.StackListenTCP(sport, snd.Deliver); err != nil {
+		if err := t.clientEP.ListenTCP(sport, snd.Deliver); err != nil {
+			t.Close()
 			return nil, err
 		}
 		t.senders = append(t.senders, snd)
 		t.receivers = append(t.receivers, rcv)
 		snd.Start(0)
 	}
+	t.running = true
 	return t, nil
+}
+
+// Start begins unbounded transfers on every stream (the constructor
+// already did; after Stop it restarts the streams from scratch).
+func (t *IperfTCP) Start() {
+	if t.running || t.closed {
+		return
+	}
+	t.running = true
+	t.started = t.loop.Now()
+	t.stoppedAt = 0
+	for _, s := range t.senders {
+		s.Start(0)
+	}
 }
 
 // Stop ends the test (senders stop transmitting).
 func (t *IperfTCP) Stop() {
+	if !t.running {
+		return
+	}
+	t.running = false
 	t.stoppedAt = t.loop.Now()
 	for _, s := range t.senders {
 		s.Stop()
 	}
+}
+
+// Close stops the test, cancels the receivers' pending delayed-ACK
+// timers, and releases every stream's port registration.
+func (t *IperfTCP) Close() {
+	t.Stop()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, r := range t.receivers {
+		r.Close()
+	}
+	t.clientEP.Close()
+	t.serverEP.Close()
 }
 
 // Mbps returns aggregate goodput over the test interval.

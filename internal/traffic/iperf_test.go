@@ -1,0 +1,94 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+)
+
+// TestIperfPerStreamAccounting checks that the aggregate Mbps figure is
+// exactly the sum of the per-stream receiver byte counts over the test
+// interval, and that every parallel stream actually carried traffic.
+func TestIperfPerStreamAccounting(t *testing.T) {
+	w, src, dst := gigChain(t)
+	test, err := StartIperfTCP(w, src, dst, IperfTCPConfig{Streams: 4, Window: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(3 * time.Second)
+	test.Stop()
+	elapsed := (test.stoppedAt - test.started).Seconds()
+	var sum uint64
+	for i, r := range test.Receivers() {
+		if r.Bytes == 0 {
+			t.Fatalf("stream %d delivered no bytes", i)
+		}
+		sum += r.Bytes
+	}
+	want := float64(sum) * 8 / elapsed / 1e6
+	if got := test.Mbps(); got != want {
+		t.Fatalf("Mbps() = %f, but per-stream bytes sum to %f", got, want)
+	}
+	// Four streams sharing clean GigE: no stream may be starved below a
+	// quarter of its fair share.
+	for i, r := range test.Receivers() {
+		if share := float64(r.Bytes) / float64(sum); share < 0.25/4 {
+			t.Fatalf("stream %d carried only %.1f%% of the bytes", i, 100*share)
+		}
+	}
+}
+
+// TestIperfCloseReleasesPorts is the teardown regression test: Close
+// must return both nodes' stacks to their pre-test registration counts,
+// and the same ports must be immediately reusable.
+func TestIperfCloseReleasesPorts(t *testing.T) {
+	w, src, dst := gigChain(t)
+	srcBase, dstBase := src.StackListeners(), dst.StackListeners()
+	test, err := StartIperfTCP(w, src, dst, IperfTCPConfig{Streams: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := src.StackListeners(); got != srcBase+3 {
+		t.Fatalf("client registered %d listeners, want 3", got-srcBase)
+	}
+	if got := dst.StackListeners(); got != dstBase+3 {
+		t.Fatalf("server registered %d listeners, want 3", got-dstBase)
+	}
+	w.Run(time.Second)
+	test.Close()
+	if got := src.StackListeners(); got != srcBase {
+		t.Fatalf("client still holds %d registrations after Close", got-srcBase)
+	}
+	if got := dst.StackListeners(); got != dstBase {
+		t.Fatalf("server still holds %d registrations after Close", got-dstBase)
+	}
+	// The ports are free again: a fresh test on the defaults must start.
+	again, err := StartIperfTCP(w, src, dst, IperfTCPConfig{Streams: 3})
+	if err != nil {
+		t.Fatalf("restart on the released ports: %v", err)
+	}
+	again.Close()
+}
+
+// TestIperfFailedStartCleansUp: when a constructor loses the port race
+// mid-registration, the streams it did register must be rolled back, so
+// closing the winner frees everything.
+func TestIperfFailedStartCleansUp(t *testing.T) {
+	w, src, dst := gigChain(t)
+	first, err := StartIperfTCP(w, src, dst, IperfTCPConfig{Streams: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dst.StackListeners()
+	if _, err := StartIperfTCP(w, src, dst, IperfTCPConfig{Streams: 2}); err == nil {
+		t.Fatal("second test reused ports without error")
+	}
+	if got := dst.StackListeners(); got != before {
+		t.Fatalf("failed constructor leaked %d registrations", got-before)
+	}
+	first.Close()
+	third, err := StartIperfTCP(w, src, dst, IperfTCPConfig{Streams: 2})
+	if err != nil {
+		t.Fatalf("start after cleanup: %v", err)
+	}
+	third.Close()
+}

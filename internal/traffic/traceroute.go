@@ -38,6 +38,7 @@ type Traceroute struct {
 	cfg     TracerouteConfig
 	Hops    []Hop
 	Done    bool
+	started bool
 	current int
 	sentAt  time.Duration
 	timer   sim.Timer
@@ -57,12 +58,45 @@ func (h *ICMPHost) StartTraceroute(clock sim.Clock, cfg TracerouteConfig) *Trace
 	}
 	tr := &Traceroute{host: h, clock: clock, cfg: cfg}
 	h.traces = append(h.traces, tr)
+	tr.started = true
 	tr.probe(1)
 	return tr
 }
 
 // OnDone registers a completion callback.
 func (tr *Traceroute) OnDone(fn func()) { tr.onDone = fn }
+
+// Start launches the first probe (the constructor already did).
+func (tr *Traceroute) Start() {
+	if tr.started || tr.Done {
+		return
+	}
+	tr.started = true
+	tr.probe(1)
+}
+
+// Stop abandons the trace, cancelling the pending probe timeout.
+func (tr *Traceroute) Stop() {
+	if tr.Done {
+		return
+	}
+	tr.Done = true
+	if !tr.timer.IsZero() {
+		tr.timer.Stop()
+		tr.timer = sim.Timer{}
+	}
+}
+
+// Close abandons the trace and detaches it from the host dispatcher.
+func (tr *Traceroute) Close() {
+	tr.Stop()
+	for i, t := range tr.host.traces {
+		if t == tr {
+			tr.host.traces = append(tr.host.traces[:i], tr.host.traces[i+1:]...)
+			return
+		}
+	}
+}
 
 func (tr *Traceroute) probe(ttl int) {
 	if ttl > tr.cfg.MaxTTL {

@@ -10,6 +10,7 @@ package traffic
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"vini/internal/netem"
@@ -25,13 +26,39 @@ type ICMPHost struct {
 	node    *netem.Node
 	clients map[uint16]*Ping
 	traces  []*Traceroute
+	// nextID allocates ping identifiers per host (per world): a shared
+	// package counter here would be cross-world mutable state.
+	nextID uint16
+	closed bool
 }
 
 // NewICMPHost attaches the dispatcher to the node.
 func NewICMPHost(node *netem.Node) *ICMPHost {
-	h := &ICMPHost{node: node, clients: make(map[uint16]*Ping)}
+	h := &ICMPHost{node: node, clients: make(map[uint16]*Ping), nextID: 0x1000}
 	node.StackListenICMP(h.deliver)
 	return h
+}
+
+// Close stops every attached client and trace and detaches the
+// dispatcher from the node's stack. Idempotent.
+func (h *ICMPHost) Close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	ids := make([]int, 0, len(h.clients))
+	for id := range h.clients {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids) // deterministic teardown order
+	for _, id := range ids {
+		h.clients[uint16(id)].Stop()
+	}
+	for _, tr := range h.traces {
+		tr.Stop()
+	}
+	h.traces = nil
+	h.node.StackUnlistenICMP()
 }
 
 func (h *ICMPHost) deliver(dgram []byte) {
@@ -81,14 +108,17 @@ type PingSample struct {
 
 // Ping is a running echo client.
 type Ping struct {
-	host    *ICMPHost
-	clock   sim.Clock
-	cfg     PingConfig
-	id      uint16
-	seq     uint16
-	sent    map[uint16]time.Duration
-	timers  map[uint16]sim.Timer
-	stopped bool
+	host   *ICMPHost
+	clock  sim.Clock
+	cfg    PingConfig
+	id     uint16
+	seq    uint16
+	sent   map[uint16]time.Duration
+	timers map[uint16]sim.Timer
+	// tickTimer is the pending interval tick; Stop cancels it so
+	// teardown leaves nothing live in the domain heap.
+	tickTimer sim.Timer
+	stopped   bool
 	// RTTs aggregates in milliseconds (ping's min/avg/max/mdev line).
 	RTTs sim.Stats
 	// Timeline records every sample in order.
@@ -96,8 +126,6 @@ type Ping struct {
 	// Sent and Lost count totals.
 	Sent, Lost int
 }
-
-var nextPingID uint16 = 0x1000
 
 // StartPing launches a ping client through the host dispatcher. Under
 // parallel execution pass the host node's Clock(), so the echo tick and
@@ -113,22 +141,41 @@ func (h *ICMPHost) StartPing(clock sim.Clock, cfg PingConfig) *Ping {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
 	}
-	nextPingID++
-	p := &Ping{host: h, clock: clock, cfg: cfg, id: nextPingID,
+	h.nextID++
+	p := &Ping{host: h, clock: clock, cfg: cfg, id: h.nextID,
 		sent: make(map[uint16]time.Duration), timers: make(map[uint16]sim.Timer)}
 	h.clients[p.id] = p
 	p.tick()
 	return p
 }
 
-// Stop halts the client.
+// Start resumes a stopped client (the constructor already started it).
+func (p *Ping) Start() {
+	if !p.stopped {
+		return
+	}
+	p.stopped = false
+	p.host.clients[p.id] = p
+	p.tick()
+}
+
+// Stop halts the client, cancelling its pending echo-loss timeouts and
+// the interval tick so nothing of it stays live in the domain heap.
 func (p *Ping) Stop() {
 	p.stopped = true
 	delete(p.host.clients, p.id)
 	for _, t := range p.timers {
 		t.Stop()
 	}
+	if !p.tickTimer.IsZero() {
+		p.tickTimer.Stop()
+		p.tickTimer = sim.Timer{}
+	}
 }
+
+// Close halts the client; the ping's registrations live in its host
+// dispatcher, which Stop already releases.
+func (p *Ping) Close() { p.Stop() }
 
 func (p *Ping) tick() {
 	if p.stopped || (p.cfg.Count > 0 && p.Sent >= p.cfg.Count) {
@@ -150,7 +197,7 @@ func (p *Ping) tick() {
 			p.Timeline = append(p.Timeline, PingSample{At: at, Lost: true})
 		}
 	})
-	p.clock.Schedule(p.cfg.Interval, p.tick)
+	p.tickTimer = p.clock.Schedule(p.cfg.Interval, p.tick)
 }
 
 func (p *Ping) reply(seq uint16) {

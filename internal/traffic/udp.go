@@ -1,7 +1,6 @@
 package traffic
 
 import (
-	"encoding/binary"
 	"net/netip"
 	"time"
 
@@ -20,6 +19,10 @@ type UDPCBRConfig struct {
 	Port uint16
 	// SrcAddr/DstAddr override node primary addresses (tap0 for overlay).
 	SrcAddr, DstAddr netip.Addr
+	// Controller overrides the pacing controller (default: a FixedRate
+	// pinned at RateBps). It is queried from the client's domain before
+	// every datagram.
+	Controller RateController
 }
 
 // UDPCBR is a running CBR test: sender on the client node, receiver on
@@ -31,14 +34,18 @@ type UDPCBR struct {
 	// parallel execution the tick loop runs in the client's domain and
 	// the receive path in the server's, so each side reads its own
 	// timeline (identical in classic mode, where both are the loop).
-	send    sim.Clock
-	recv    sim.Clock
-	cfg     UDPCBRConfig
-	client  *netem.Node
-	src     netip.Addr
-	dst     netip.Addr
-	seq     uint32
-	stopped bool
+	send      sim.Clock
+	recv      sim.Clock
+	cfg       UDPCBRConfig
+	client    *netem.Node
+	src       netip.Addr
+	dst       netip.Addr
+	ctrl      RateController
+	ep        *Endpoint
+	seq       uint32
+	tickTimer sim.Timer
+	active    bool
+	closed    bool
 	// Receiver state.
 	received  uint32
 	maxSeq    uint32
@@ -51,47 +58,80 @@ type UDPCBR struct {
 	TransitStats sim.Stats
 }
 
-// StartUDPCBR begins the test; Stop it after the measurement interval.
+// StartUDPCBR begins the test; Stop it after the measurement interval,
+// Close it to release the server-side listener.
 func StartUDPCBR(w *netem.Network, client, server *netem.Node, cfg UDPCBRConfig) (*UDPCBR, error) {
 	if cfg.Payload <= 0 {
 		cfg.Payload = 1430
 	}
-	if cfg.Payload < 12 {
-		cfg.Payload = 12
+	if cfg.Payload < FrameHeaderLen {
+		cfg.Payload = FrameHeaderLen
 	}
 	if cfg.Port == 0 {
 		cfg.Port = 5001
 	}
 	t := &UDPCBR{send: client.Clock(), recv: server.Clock(), cfg: cfg,
-		client: client, src: client.Addr(), dst: server.Addr()}
+		client: client, src: client.Addr(), dst: server.Addr(),
+		ctrl: cfg.Controller, ep: NewEndpoint(server)}
+	if t.ctrl == nil {
+		t.ctrl = NewFixedRate(cfg.RateBps)
+	}
 	if cfg.SrcAddr.IsValid() {
 		t.src = cfg.SrcAddr
 	}
 	if cfg.DstAddr.IsValid() {
 		t.dst = cfg.DstAddr
 	}
-	if err := server.StackListenUDP(cfg.Port, t.receive); err != nil {
+	if err := t.ep.ListenUDP(cfg.Port, t.receive); err != nil {
 		return nil, err
 	}
-	t.tick()
+	t.Start()
 	return t, nil
 }
 
-// Stop halts the sender.
-func (t *UDPCBR) Stop() { t.stopped = true }
+// Start begins (or resumes) the paced sender.
+func (t *UDPCBR) Start() {
+	if t.active || t.closed {
+		return
+	}
+	t.active = true
+	t.tick()
+}
+
+// Stop halts the sender, cancelling the pending tick; the receiver keeps
+// listening (and counting late arrivals) until Close.
+func (t *UDPCBR) Stop() {
+	t.active = false
+	if !t.tickTimer.IsZero() {
+		t.tickTimer.Stop()
+		t.tickTimer = sim.Timer{}
+	}
+}
+
+// Close stops the sender and releases the server-side UDP listener.
+func (t *UDPCBR) Close() {
+	t.Stop()
+	if !t.closed {
+		t.closed = true
+		t.ep.Close()
+	}
+}
+
+// Controller exposes the pacing controller (the spec's `rate` action
+// retargets a FixedRate through it).
+func (t *UDPCBR) Controller() RateController { return t.ctrl }
 
 func (t *UDPCBR) tick() {
-	if t.stopped {
+	if !t.active {
 		return
 	}
 	payload := make([]byte, t.cfg.Payload)
-	binary.BigEndian.PutUint32(payload[0:4], t.seq)
-	binary.BigEndian.PutUint64(payload[4:12], uint64(t.send.Now()))
+	putFrame(payload, t.seq, t.send.Now())
 	t.seq++
 	t.client.StackSend(packet.BuildUDP(t.src, t.dst, t.cfg.Port+1000, t.cfg.Port, 64, payload))
-	interval := time.Duration(float64(t.cfg.Payload+packet.UDPHeaderLen+packet.IPv4HeaderLen) *
-		8 / t.cfg.RateBps * float64(time.Second))
-	t.send.Schedule(interval, t.tick)
+	interval := paceInterval(t.cfg.Payload+packet.UDPHeaderLen+packet.IPv4HeaderLen,
+		t.ctrl.TargetBps())
+	t.tickTimer = t.send.Schedule(interval, t.tick)
 }
 
 func (t *UDPCBR) receive(dgram []byte) {
@@ -102,11 +142,13 @@ func (t *UDPCBR) receive(dgram []byte) {
 	}
 	var u packet.UDP
 	payload, err := u.Parse(seg)
-	if err != nil || len(payload) < 12 {
+	if err != nil {
 		return
 	}
-	seq := binary.BigEndian.Uint32(payload[0:4])
-	sentAt := time.Duration(binary.BigEndian.Uint64(payload[4:12]))
+	seq, sentAt, ok := parseFrame(payload)
+	if !ok {
+		return
+	}
 	t.received++
 	if seq > t.maxSeq {
 		t.maxSeq = seq

@@ -1,0 +1,277 @@
+package traffic
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"vini/internal/netem"
+	"vini/internal/sched"
+	"vini/internal/sim"
+)
+
+// TestUDPCBRCloseReleasesListener is the regression test for the CBR
+// teardown leak: Close must release the server-side UDP listener so a
+// fresh test can bind the same port, and the sender's pending tick must
+// leave the domain heap.
+func TestUDPCBRCloseReleasesListener(t *testing.T) {
+	w, src, dst := gigChain(t)
+	base := dst.StackListeners()
+	test, err := StartUDPCBR(w, src, dst, UDPCBRConfig{RateBps: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.StackListeners(); got != base+1 {
+		t.Fatalf("server registered %d listeners, want 1", got-base)
+	}
+	w.Run(time.Second)
+	test.Close()
+	if got := dst.StackListeners(); got != base {
+		t.Fatalf("server still holds %d registrations after Close", got-base)
+	}
+	// Drain in-flight datagrams; nothing of the test may stay scheduled.
+	w.Run(2 * time.Second)
+	if n := w.Loop().Pending(); n != 0 {
+		t.Fatalf("%d events still pending after Close", n)
+	}
+	again, err := StartUDPCBR(w, src, dst, UDPCBRConfig{RateBps: 5e6})
+	if err != nil {
+		t.Fatalf("restart on the released port: %v", err)
+	}
+	again.Close()
+}
+
+// TestPingStopCancelsIntervalTimer is the regression test for the ping
+// teardown leak: Stop must cancel the interval tick (and any pending
+// echo-loss timeouts) so the loop drains instead of ticking forever.
+func TestPingStopCancelsIntervalTimer(t *testing.T) {
+	w, src, dst := gigChain(t)
+	NewICMPHost(dst)
+	h := NewICMPHost(src)
+	p := h.StartPing(w.Loop(), PingConfig{Src: src.Addr(), Dst: dst.Addr(),
+		Interval: 50 * time.Millisecond}) // Count 0: runs until Stop
+	w.Run(time.Second)
+	p.Stop()
+	sent := p.Sent
+	w.Run(3 * time.Second)
+	if p.Sent != sent {
+		t.Fatalf("stopped ping kept sending: %d then %d", sent, p.Sent)
+	}
+	if n := w.Loop().Pending(); n != 0 {
+		t.Fatalf("%d events still pending after Stop", n)
+	}
+	// Start resumes from the same client state.
+	p.Start()
+	w.Run(5 * time.Second)
+	if p.Sent <= sent {
+		t.Fatal("restarted ping never resumed sending")
+	}
+}
+
+// TestPingIDsArePerHost: ping identifiers come from the host dispatcher,
+// not package state, so two worlds allocate independently and two
+// clients on one host stay distinct.
+func TestPingIDsArePerHost(t *testing.T) {
+	w1, src1, dst1 := gigChain(t)
+	w2, src2, dst2 := gigChain(t)
+	NewICMPHost(dst1)
+	NewICMPHost(dst2)
+	h1, h2 := NewICMPHost(src1), NewICMPHost(src2)
+	p1 := h1.StartPing(w1.Loop(), PingConfig{Src: src1.Addr(), Dst: dst1.Addr(), Count: 1})
+	q1 := h1.StartPing(w1.Loop(), PingConfig{Src: src1.Addr(), Dst: dst1.Addr(), Count: 1})
+	p2 := h2.StartPing(w2.Loop(), PingConfig{Src: src2.Addr(), Dst: dst2.Addr(), Count: 1})
+	if p1.id == q1.id {
+		t.Fatalf("two clients on one host share id %#x", p1.id)
+	}
+	if p1.id != p2.id {
+		t.Fatalf("first client ids differ across worlds (%#x vs %#x): allocation leaked cross-world state",
+			p1.id, p2.id)
+	}
+	w1.Run(time.Second)
+	w2.Run(time.Second)
+	if p1.Lost != 0 || q1.Lost != 0 || p2.Lost != 0 {
+		t.Fatalf("losses on clean paths: %d %d %d", p1.Lost, q1.Lost, p2.Lost)
+	}
+}
+
+// TestEndpointLedger exercises the registration ledger: every Listen
+// raises Open, Unlisten lowers it, hooks run LIFO before release, and
+// Close is idempotent and complete.
+func TestEndpointLedger(t *testing.T) {
+	w, src, _ := gigChain(t)
+	_ = w
+	base := src.StackListeners()
+	e := NewEndpoint(src)
+	if e.Node() != src {
+		t.Fatal("endpoint lost its node")
+	}
+	sink := func([]byte) {}
+	if err := e.ListenUDP(7000, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ListenUDP(7001, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ListenTCP(7002, sink); err != nil {
+		t.Fatal(err)
+	}
+	e.ICMP()
+	if e.Open() != 4 || src.StackListeners() != base+4 {
+		t.Fatalf("ledger %d, stack %d: want 4 each", e.Open(), src.StackListeners()-base)
+	}
+	// Registering a taken port fails without touching the ledger.
+	if err := e.ListenUDP(7000, sink); err == nil {
+		t.Fatal("duplicate UDP registration succeeded")
+	}
+	if e.Open() != 4 {
+		t.Fatalf("failed Listen moved the ledger to %d", e.Open())
+	}
+	e.UnlistenUDP(7001)
+	if e.Open() != 3 || src.StackListeners() != base+3 {
+		t.Fatalf("after Unlisten: ledger %d, stack %d", e.Open(), src.StackListeners()-base)
+	}
+	var order []string
+	e.OnClose(func() { order = append(order, "first") })
+	e.OnClose(func() { order = append(order, "second") })
+	e.Close()
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Fatalf("teardown hooks ran %v, want LIFO", order)
+	}
+	if e.Open() != 0 || src.StackListeners() != base {
+		t.Fatalf("after Close: ledger %d, stack %d", e.Open(), src.StackListeners()-base)
+	}
+	e.Close() // idempotent
+	if len(order) != 2 {
+		t.Fatal("second Close re-ran the teardown hooks")
+	}
+	// The ports are free for a fresh endpoint.
+	f := NewEndpoint(src)
+	if err := f.ListenUDP(7000, sink); err != nil {
+		t.Fatalf("rebind after Close: %v", err)
+	}
+	f.Close()
+}
+
+// TestRuntimeSharesEndpoints: a Runtime hands each node exactly one
+// endpoint (so workloads share the node's ICMP dispatcher), totals the
+// ledgers, and releases everything on Close.
+func TestRuntimeSharesEndpoints(t *testing.T) {
+	_, src, dst := gigChain(t)
+	rt := NewRuntime()
+	if rt.At(src) != rt.At(src) {
+		t.Fatal("Runtime.At built two endpoints for one node")
+	}
+	if rt.At(src) == rt.At(dst) {
+		t.Fatal("Runtime.At shared an endpoint across nodes")
+	}
+	if rt.At(src).ICMP() != rt.At(src).ICMP() {
+		t.Fatal("shared endpoint rebuilt its ICMP dispatcher")
+	}
+	sink := func([]byte) {}
+	if err := rt.At(src).ListenUDP(7000, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.At(dst).ListenUDP(7000, sink); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Open() != 3 { // two UDP ports + src's ICMP dispatcher
+		t.Fatalf("runtime ledger = %d, want 3", rt.Open())
+	}
+	rt.Close()
+	if rt.Open() != 0 {
+		t.Fatalf("runtime ledger = %d after Close", rt.Open())
+	}
+	if got := src.StackListeners() + dst.StackListeners(); got != 0 {
+		t.Fatalf("%d registrations survived runtime Close", got)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	buf := make([]byte, FrameHeaderLen)
+	putFrame(buf, 0xdeadbeef, 1234567891011)
+	seq, at, ok := parseFrame(buf)
+	if !ok || seq != 0xdeadbeef || at != 1234567891011 {
+		t.Fatalf("round-trip gave seq=%#x at=%d ok=%v", seq, at, ok)
+	}
+	if _, _, ok := parseFrame(buf[:FrameHeaderLen-1]); ok {
+		t.Fatal("parseFrame accepted a short payload")
+	}
+}
+
+// TestFixedRateRetunes: the spec-level `rate` action retargets a running
+// CBR flow through its FixedRate controller; pacing must follow.
+func TestFixedRateRetunes(t *testing.T) {
+	fr := NewFixedRate(1e6)
+	if fr.TargetBps() != 1e6 {
+		t.Fatalf("TargetBps = %f", fr.TargetBps())
+	}
+	if got, want := paceInterval(1500, 1e6), 12*time.Millisecond; got != want {
+		t.Fatalf("paceInterval(1500B, 1Mb/s) = %v, want %v", got, want)
+	}
+	fr.Set(2e6)
+	if got, want := paceInterval(1500, fr.TargetBps()), 6*time.Millisecond; got != want {
+		t.Fatalf("after Set(2M): paceInterval = %v, want %v", got, want)
+	}
+
+	// End to end: doubling the controller rate mid-run must speed the
+	// sender up by roughly the same factor.
+	w, src, dst := gigChain(t)
+	fr2 := NewFixedRate(1e6)
+	test, err := StartUDPCBR(w, src, dst, UDPCBRConfig{RateBps: 1e6, Controller: fr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(2 * time.Second)
+	atOne := test.Sent()
+	fr2.Set(4e6)
+	w.Run(4 * time.Second)
+	burst := test.Sent() - atOne
+	test.Close()
+	if burst < 3*atOne {
+		t.Fatalf("4x retune sent only %d packets vs %d at 1x", burst, atOne)
+	}
+}
+
+// TestAdaptiveWorkloadSmoke drives the adaptive sender directly over a
+// constrained link (no simtest harness): the estimate must converge near
+// the bottleneck and Close must release the data and feedback listeners
+// on both nodes.
+func TestAdaptiveWorkloadSmoke(t *testing.T) {
+	loop := sim.NewLoop(7)
+	w := netem.New(loop)
+	prof := netem.DETERProfile()
+	src, err := w.AddNode("src", netip.MustParseAddr("10.9.0.1"), prof, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := w.AddNode("dst", netip.MustParseAddr("10.9.0.2"), prof, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.AddLink(netem.LinkConfig{A: "src", B: "dst", Bandwidth: 2e6,
+		Delay: 5 * time.Millisecond, QueueBytes: 30000})
+	w.ComputeRoutes()
+	srcBase, dstBase := src.StackListeners(), dst.StackListeners()
+	a, err := StartAdaptive(w, src, dst, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.StackListeners() != srcBase+1 || dst.StackListeners() != dstBase+1 {
+		t.Fatal("adaptive flow did not register exactly one listener per node")
+	}
+	w.Run(20 * time.Second)
+	if est := a.EstimateBps(); est < 0.45*2e6 || est > 1.35*2e6 {
+		t.Fatalf("estimate = %.0f b/s against a 2 Mb/s bottleneck", est)
+	}
+	if a.Received() == 0 || a.Sent() == 0 {
+		t.Fatalf("no traffic: sent=%d received=%d", a.Sent(), a.Received())
+	}
+	a.Close()
+	if src.StackListeners() != srcBase || dst.StackListeners() != dstBase {
+		t.Fatal("Close left adaptive listeners registered")
+	}
+	w.Run(21 * time.Second)
+	if n := w.Loop().Pending(); n != 0 {
+		t.Fatalf("%d events still pending after Close", n)
+	}
+}
